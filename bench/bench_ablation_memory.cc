@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Ablation: data-memory organization — the Section 3.5 argument for
+ * the accumulator ISA (one memory port) and for narrow datatypes
+ * (more words per area).
+ *
+ * Sweeps word count and port count; prints absolute area and the
+ * relative cost of the second port that a load-store or
+ * memory-memory architecture would need.
+ */
+
+#include <cstdio>
+
+#include "bench_util.hh"
+#include "common/logging.hh"
+#include "dse/area_model.hh"
+
+using namespace flexi;
+
+int
+main()
+{
+    benchHeader("Ablation: memory organization",
+                "area vs words / width / ports (NAND2-eq)");
+
+    TextTable t({"Words x Width", "1 port", "2 ports", "2nd port",
+                 "Note"});
+    const struct { unsigned words, width; const char *note; } cfgs[] = {
+        {4, 8, "FlexiCore8's array"},
+        {8, 4, "FlexiCore4's array"},
+        {16, 4, "doubled memory (Fig 9: rejected)"},
+        {32, 4, "4x memory"},
+        {8, 8, "8 octets"},
+    };
+    for (const auto &c : cfgs) {
+        double one = memoryArea(c.words, c.width, 1);
+        double two = memoryArea(c.words, c.width, 2);
+        t.addRow({strfmt("%2u x %u", c.words, c.width),
+                  fmtDouble(one, 0), fmtDouble(two, 0),
+                  "+" + pct(two / one - 1.0), c.note});
+    }
+    std::printf("%s", t.str().c_str());
+
+    std::printf("\nPaper reference (Section 3.5): a second port "
+                "would cost +39%% on FlexiCore4's\n8-word array and "
+                "+25%% on FlexiCore8's 4-word array; the port cost "
+                "grows with\nword count, which is why the accumulator "
+                "ISA (single port) wins, and why\nnarrow 4-bit words "
+                "double the capacity of the dominant module for "
+                "free.\n");
+    return 0;
+}

@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Ablation: yield vs supply voltage — the knob behind Table 5's two
+ * operating points. Sweeps Vdd and separates defect-limited from
+ * timing-limited yield, showing FlexiCore8's cliff walking down in
+ * voltage (its longer ripple-carry chain) while FlexiCore4 degrades
+ * gracefully.
+ */
+
+#include <cstdio>
+
+#include "bench_util.hh"
+#include "yield/wafer_study.hh"
+
+using namespace flexi;
+
+int
+main()
+{
+    benchHeader("Ablation: yield vs supply voltage",
+                "inclusion-zone yield across Vdd");
+
+    WaferMap wafer;
+    TextTable t({"Vdd (V)", "FC4 yield", "FC4 timing-ok",
+                 "FC8 yield", "FC8 timing-ok"});
+
+    DieModel fc4(designSpecFor(IsaKind::FlexiCore4));
+    DieModel fc8(designSpecFor(IsaKind::FlexiCore8));
+
+    for (double vdd = 2.5; vdd <= 5.01; vdd += 0.5) {
+        double y[2] = {0, 0}, tim[2] = {0, 0};
+        const DieModel *models[2] = {&fc4, &fc8};
+        for (int m = 0; m < 2; ++m) {
+            Rng rng(77);
+            size_t total = 0, good = 0, tok = 0;
+            for (int w = 0; w < 30; ++w) {
+                for (const DieSite &site : wafer.sites()) {
+                    if (!site.inInclusionZone)
+                        continue;
+                    ++total;
+                    DieSample die =
+                        models[m]->sample(site, wafer, rng);
+                    good += models[m]->functional(die, vdd);
+                    tok += models[m]->meetsTiming(die, vdd);
+                }
+            }
+            y[m] = static_cast<double>(good) / total;
+            tim[m] = static_cast<double>(tok) / total;
+        }
+        t.addRow({fmtDouble(vdd, 1), pct(y[0]), pct(tim[0]),
+                  pct(y[1]), pct(tim[1])});
+    }
+    std::printf("%s", t.str().c_str());
+    std::printf("\nAnchors: Table 5's points are 3.0 V and 4.5 V. "
+                "Above ~4.5 V both designs are\ndefect-limited (the "
+                "device-count gap); below ~3.5 V FlexiCore8 falls "
+                "off its\ntiming cliff roughly one half-volt before "
+                "FlexiCore4 — the 2x carry chain.\n");
+    return 0;
+}

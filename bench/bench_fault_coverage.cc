@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Stuck-at fault coverage of the wafer-test vector suite.
+ *
+ * Section 4.1 claims the directed+random vectors "stimulate all
+ * regions of the cores" — the property that makes the zero-error
+ * criterion a sound yield test. This harness measures it directly:
+ * for every net in the FlexiCore4 / FlexiCore8 netlists, inject
+ * stuck-at-0 and stuck-at-1 and check whether the vector suite
+ * produces at least one output mismatch. Undetected faults are
+ * broken down by module (test escapes concentrate in redundant
+ * logic).
+ */
+
+#include <cstdio>
+#include <map>
+
+#include "bench_util.hh"
+#include "netlist/flexicore_netlist.hh"
+#include "netlist/lockstep.hh"
+#include "yield/test_program.hh"
+
+using namespace flexi;
+
+namespace
+{
+
+void
+coverageFor(IsaKind isa, uint64_t cycles)
+{
+    auto build = [&]() {
+        return isa == IsaKind::FlexiCore4 ? buildFlexiCore4Netlist()
+                                          : buildFlexiCore8Netlist();
+    };
+
+    Program prog = makeTestProgram(isa, 11);
+    auto inputs = makeTestInputs(isa, 256, 11);
+
+    auto reference = build();
+    size_t faults = 0, detected = 0;
+    std::map<std::string, std::pair<unsigned, unsigned>> by_module;
+
+    auto nl = build();
+    for (const CellInst &cell : nl->cells()) {
+        for (bool value : {false, true}) {
+            nl->clearFaults();
+            nl->reset();
+            nl->injectFault({cell.output, value});
+            LockstepResult res =
+                runLockstep(*nl, isa, prog, inputs, cycles);
+            ++faults;
+            ++by_module[cell.module].second;
+            if (res.errors > 0) {
+                ++detected;
+                ++by_module[cell.module].first;
+            }
+        }
+    }
+
+    std::printf("\n%s: %zu cell-output stuck-at faults, %zu detected "
+                "(%.1f%% coverage over %lu-cycle suite)\n",
+                reference->name().c_str(), faults, detected,
+                100.0 * detected / faults,
+                static_cast<unsigned long>(cycles));
+    TextTable t({"Module", "Detected", "Faults", "Coverage"});
+    for (const auto &[module, counts] : by_module) {
+        t.addRow({module, std::to_string(counts.first),
+                  std::to_string(counts.second),
+                  pct(static_cast<double>(counts.first) /
+                      counts.second)});
+    }
+    std::printf("%s", t.str().c_str());
+}
+
+} // namespace
+
+int
+main()
+{
+    benchHeader("Fault coverage", "stuck-at detection by the "
+                "Section 4.1 directed+random vector suite");
+
+    coverageFor(IsaKind::FlexiCore4, 1500);
+    coverageFor(IsaKind::FlexiCore8, 1500);
+
+    std::printf("\nInterpretation: high coverage means a defective "
+                "die almost always shows output\nerrors on the probe "
+                "station, so the zero-error criterion measures true "
+                "yield.\nResidual escapes sit in logic whose effect "
+                "is masked (e.g. pad receivers whose\nfanout is not "
+                "modeled, write-enable terms for the unwriteable "
+                "input word).\n");
+    return 0;
+}

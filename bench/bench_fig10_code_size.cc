@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Regenerates Figure 10: per-kernel code size under each ISA
+ * extension, relative to the base FlexiCore4 ISA. Individual
+ * extensions use the idiom-census estimator; the revised set and the
+ * load-store ISA are measured from the real assembled kernels.
+ */
+
+#include <cstdio>
+
+#include "bench_util.hh"
+#include "dse/code_size.hh"
+
+using namespace flexi;
+
+int
+main()
+{
+    benchHeader("Figure 10", "Per-kernel code size vs ISA extension "
+                "(relative to base FlexiCore4)");
+
+    IsaFeatures adc, shift, flags, mul, xch, call;
+    adc.coalescing = true;
+    shift.barrelShifter = true;
+    flags.branchFlags = true;
+    mul.multiplier = true;
+    xch.exchange = true;
+    call.subroutines = true;
+
+    TextTable t({"Kernel", "ADC", "RShift", "Flags", "Mult", "Xch",
+                 "Call", "Revised(est)", "Ext(meas)", "LS(meas)"});
+
+    double sum_ext = 0, sum_base = 0;
+    for (KernelId id : allKernels()) {
+        double base = static_cast<double>(
+            measuredCodeSize(id, IsaKind::FlexiCore4).instructions);
+        auto rel = [&](const IsaFeatures &f) {
+            return fmtDouble(
+                estimatedCodeSize(id, f).instructions / base, 2);
+        };
+        double ext = static_cast<double>(
+            measuredCodeSize(id, IsaKind::ExtAcc4).instructions);
+        double ls = static_cast<double>(
+            measuredCodeSize(id, IsaKind::LoadStore4).instructions);
+        sum_ext += ext;
+        sum_base += base;
+        t.addRow({kernelName(id), rel(adc), rel(shift), rel(flags),
+                  rel(mul), rel(xch), rel(call),
+                  fmtDouble(estimatedCodeSize(
+                                id, IsaFeatures::revised())
+                                    .instructions / base, 2),
+                  fmtDouble(ext / base, 2), fmtDouble(ls / base, 2)});
+    }
+    std::printf("%s", t.str().c_str());
+    std::printf("\nSuite aggregate, revised ISA (measured): %.2f of "
+                "base instructions\n", sum_ext / sum_base);
+    std::printf("Paper shape: the right-shift extension dominates for "
+                "XorShift8/IntAvg (Listing 1's\n~30-instruction shift "
+                "dance collapses to one lsri); flags help every "
+                "kernel's\nunconditional branches; the multiplier "
+                "only helps the Calculator.\n");
+    return 0;
+}

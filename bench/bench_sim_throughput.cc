@@ -1,0 +1,107 @@
+/**
+ * @file
+ * google-benchmark microbenchmarks of the simulation substrates
+ * themselves: ISA-simulator instruction rate, gate-level netlist
+ * cycle rate, assembler throughput, and wafer-study runtime. These
+ * bound how large the Monte-Carlo experiments can be made.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "assembler/assembler.hh"
+#include "kernels/runner.hh"
+#include "netlist/flexicore_netlist.hh"
+#include "netlist/lockstep.hh"
+#include "sim/core_sim.hh"
+#include "yield/test_program.hh"
+#include "yield/wafer_study.hh"
+
+namespace flexi
+{
+namespace
+{
+
+void
+BM_CoreSimInstructionRate(benchmark::State &state)
+{
+    Program p = assemble(IsaKind::FlexiCore4,
+                         kernelSource(KernelId::FirFilter,
+                                      IsaKind::FlexiCore4));
+    FifoEnvironment env;
+    for (int i = 0; i < 4096; ++i)
+        env.pushInput(static_cast<uint8_t>(i & 0xF));
+    TimingConfig cfg{IsaKind::FlexiCore4, MicroArch::SingleCycle,
+                     BusWidth::Wide};
+    CoreSim sim(cfg, p, env);
+    for (auto _ : state) {
+        for (int i = 0; i < 1000; ++i)
+            sim.step();
+    }
+    state.SetItemsProcessed(state.iterations() * 1000);
+}
+BENCHMARK(BM_CoreSimInstructionRate);
+
+void
+BM_NetlistCycleRate(benchmark::State &state)
+{
+    auto nl = buildFlexiCore4Netlist();
+    Program p = makeTestProgram(IsaKind::FlexiCore4, 1);
+    const auto &image = p.page(0);
+    nl->setBus("iport", 4, 0x5);
+    for (auto _ : state) {
+        for (int i = 0; i < 100; ++i) {
+            unsigned pc = nl->bus("pc", 7);
+            nl->setBus("instr", 8,
+                       pc < image.size() ? image[pc] : 0);
+            nl->evaluate();
+            nl->clockEdge();
+            nl->evaluate();
+        }
+    }
+    state.SetItemsProcessed(state.iterations() * 100);
+}
+BENCHMARK(BM_NetlistCycleRate);
+
+void
+BM_AssembleCalculator(benchmark::State &state)
+{
+    std::string src = kernelSource(KernelId::Calculator,
+                                   IsaKind::FlexiCore4);
+    for (auto _ : state) {
+        Program p = assemble(IsaKind::FlexiCore4, src);
+        benchmark::DoNotOptimize(p.numPages());
+    }
+}
+BENCHMARK(BM_AssembleCalculator);
+
+void
+BM_LockstepDieTest(benchmark::State &state)
+{
+    auto nl = buildFlexiCore4Netlist();
+    Program p = makeTestProgram(IsaKind::FlexiCore4, 3);
+    auto inputs = makeTestInputs(IsaKind::FlexiCore4, 128, 3);
+    for (auto _ : state) {
+        LockstepResult res =
+            runLockstep(*nl, IsaKind::FlexiCore4, p, inputs, 500);
+        benchmark::DoNotOptimize(res.errors);
+    }
+}
+BENCHMARK(BM_LockstepDieTest);
+
+void
+BM_WaferStudyStatistical(benchmark::State &state)
+{
+    for (auto _ : state) {
+        WaferStudyConfig cfg;
+        cfg.seed = 1;
+        cfg.gateLevelErrors = false;
+        auto res = runWaferStudy(cfg);
+        benchmark::DoNotOptimize(res.yield(4.5, true));
+    }
+}
+BENCHMARK(BM_WaferStudyStatistical);
+
+} // namespace
+} // namespace flexi
+
+BENCHMARK_MAIN();

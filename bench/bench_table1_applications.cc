@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Table 1 application-level energy study: maps the paper's example
+ * applications (sample rate, precision, duty cycle) onto the kernel
+ * suite, computes per-sample energy on the fabricated FlexiCore4,
+ * and reports daily energy and battery life on the 3 V / 5 mAh
+ * flexible printed battery of Section 5.2 — extending the paper's
+ * single battery example across the whole application table.
+ */
+
+#include <cstdio>
+
+#include "bench_util.hh"
+#include "common/logging.hh"
+#include "kernels/runner.hh"
+#include "netlist/flexicore_netlist.hh"
+#include "tech/technology.hh"
+
+using namespace flexi;
+
+namespace
+{
+
+struct AppRow
+{
+    const char *application;
+    double sampleRateHz;          ///< Table 1 sample rate
+    KernelId kernel;              ///< processing per sample
+    const char *note;
+};
+
+} // namespace
+
+int
+main()
+{
+    benchHeader("Table 1 applications",
+                "energy & battery life on FlexiCore4 "
+                "(12.5 kHz, 4.5 V, perfect power gating)");
+
+    Technology tech(false);
+    auto nl = buildFlexiCore4Netlist();
+    double power = tech.staticPower(nl->totalStaticCurrentUa(), 4.5);
+    constexpr double kBatteryJ = 3.0 * 5e-3 * 3600.0;   // 3 V, 5 mAh
+
+    const AppRow apps[] = {
+        {"Body Temperature Sensor", 1.0, KernelId::Thresholding,
+         "threshold on smoothed input"},
+        {"Heart Beat Sensor", 4.0, KernelId::Thresholding,
+         "beat detection by threshold"},
+        {"Light Level Sensor", 1.0, KernelId::IntAvg,
+         "de-noise + report"},
+        {"Food Temp. Sensor", 1.0, KernelId::IntAvg,
+         "exponential smoothing"},
+        {"Humidity Sensor", 10.0, KernelId::FirFilter,
+         "band filtering"},
+        {"Odor Sensor", 25.0, KernelId::DecisionTree,
+         "classification"},
+        {"Smart Bandage", 0.01, KernelId::DecisionTree,
+         "wound-state classifier"},
+        {"Pedometer", 25.0, KernelId::Thresholding,
+         "step threshold"},
+        {"Error Detection Coding", 100.0, KernelId::ParityCheck,
+         "per-byte parity"},
+        {"Pseudo-RNG", 1.0, KernelId::XorShift8,
+         "xorshift sequence step"},
+        {"POS Computation", 100.0, KernelId::Calculator,
+         "arithmetic per event"},
+    };
+
+    TimingConfig cfg{IsaKind::FlexiCore4, MicroArch::SingleCycle,
+                     BusWidth::Wide};
+    constexpr size_t kWork = 48;
+
+    TextTable t({"Application", "Rate (Hz)", "Kernel", "uJ/sample",
+                 "J/day", "Battery life"});
+    for (const AppRow &app : apps) {
+        KernelRun run = runKernel(app.kernel, cfg, kWork, 31);
+        double cycles = static_cast<double>(run.stats.cycles) / kWork;
+        double e_sample = power * cycles / kClockHz;
+        double j_day = e_sample * app.sampleRateHz * 86400.0;
+        double days = kBatteryJ / j_day;
+        std::string life =
+            days > 3650.0 ? ">10 years"
+            : days > 365.0 ? strfmt("%.1f years", days / 365.0)
+            : days >= 2.0 ? strfmt("%.0f days", days)
+            : strfmt("%.0f hours", days * 24.0);
+        t.addRow({app.application, fmtDouble(app.sampleRateHz, 2),
+                  kernelName(app.kernel), fmtDouble(e_sample * 1e6, 1),
+                  fmtDouble(j_day, 3), life});
+    }
+    std::printf("%s", t.str().c_str());
+
+    std::printf("\nDuty cycle is the lever (Section 3.2): at "
+                "Table 1's relaxed sample rates most\napplications "
+                "run months-to-years on a printed battery, while "
+                "continuous 100 Hz\nworkloads exhaust it in days — "
+                "matching the paper's 'performance matters only\nso "
+                "far as it saves energy' argument.\n");
+    return 0;
+}

@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Error-detection coding on FlexiCore8 (Table 1: "any flexible
+ * microprocessor which transmits or receives data wirelessly must be
+ * able to execute computationally inexpensive error detection
+ * encoding or decoding").
+ *
+ * A transmitter-side FlexiCore8 appends a mod-256 checksum and a
+ * parity bit to a small packet; the example then corrupts a byte in
+ * transit and shows a receiver-side core (the same silicon,
+ * reprogrammed in the field) rejecting the packet.
+ */
+
+#include <cstdio>
+#include <vector>
+
+#include "kernels/fc8_programs.hh"
+#include "sys/flexichip.hh"
+
+using namespace flexi;
+
+namespace
+{
+
+uint8_t
+checksumOf(FlexiChip &chip, const std::vector<uint8_t> &payload)
+{
+    chip.clearOutputs();
+    chip.pushInputs(payload);
+    chip.runUntilOutputs(payload.size(), 1000000);
+    return chip.outputs().back();   // running sum after last byte
+}
+
+} // namespace
+
+int
+main()
+{
+    std::vector<uint8_t> packet = {0x12, 0xC4, 0x07, 0x99, 0x3B};
+
+    // Transmitter: compute the packet checksum on-chip.
+    FlexiChip tx(IsaKind::FlexiCore8);
+    tx.loadProgram(fc8ProgramSource(Fc8Program::Checksum));
+    uint8_t checksum = checksumOf(tx, packet);
+    std::printf("tx packet:");
+    for (uint8_t b : packet)
+        std::printf(" %02x", b);
+    std::printf("  | checksum %02x (computed in %lu instructions)\n",
+                checksum,
+                static_cast<unsigned long>(tx.stats().instructions));
+
+    // The wireless link flips a byte.
+    std::vector<uint8_t> received = packet;
+    received[2] ^= 0x40;
+
+    // Receiver: same chip design, reprogrammed in the field — it
+    // recomputes the checksum over the received payload.
+    FlexiChip rx(IsaKind::FlexiCore8);
+    rx.loadProgram(fc8ProgramSource(Fc8Program::Checksum));
+    uint8_t rx_sum = checksumOf(rx, received);
+    std::printf("rx packet:");
+    for (uint8_t b : received)
+        std::printf(" %02x", b);
+    std::printf("  | checksum %02x -> %s\n", rx_sum,
+                rx_sum == checksum ? "ACCEPT" : "REJECT (corrupted)");
+
+    // Per-byte parity as a second, cheaper EDC layer.
+    FlexiChip par(IsaKind::FlexiCore8);
+    par.loadProgram(fc8ProgramSource(Fc8Program::Parity));
+    par.pushInputs(packet);
+    par.runUntilOutputs(packet.size(), 1000000);
+    std::printf("per-byte parity bits:");
+    for (uint8_t b : par.outputs())
+        std::printf(" %u", b);
+    std::printf("\n");
+
+    std::printf("\nenergy: checksum %.2f uJ, parity %.2f uJ per "
+                "packet on the 12.5 kHz die\n",
+                tx.energyJoules() * 1e6, par.energyJoules() * 1e6);
+    return 0;
+}

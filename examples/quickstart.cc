@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Quickstart: assemble a program, run it on a FlexiCore4, inspect
+ * outputs, statistics and the physical model.
+ *
+ *   $ ./quickstart
+ */
+
+#include <cstdio>
+
+#include "sys/flexichip.hh"
+
+using namespace flexi;
+
+int
+main()
+{
+    // A FlexiCore4 system: core + off-chip program memory + IO buses.
+    FlexiChip chip(IsaKind::FlexiCore4);
+
+    // The nine-instruction base ISA. r0 is the input bus, r1 the
+    // output bus, r2..r7 the on-chip data memory.
+    chip.loadProgram(R"(
+        ; add 3 to every input sample, forever
+        loop:   load r0         ; sample the input bus
+                addi 3
+                store r1        ; drive the output bus
+                nandi 0         ; ACC = 0xF (negative)
+                br loop         ; => branch always taken
+    )");
+
+    chip.pushInputs({1, 2, 3, 11});
+    chip.runUntilOutputs(4);
+
+    std::printf("outputs: ");
+    for (uint8_t v : chip.outputs())
+        std::printf("%u ", v);
+    std::printf("\n");
+
+    const SimStats &stats = chip.stats();
+    std::printf("instructions=%lu cycles=%lu taken-branches=%lu\n",
+                static_cast<unsigned long>(stats.instructions),
+                static_cast<unsigned long>(stats.cycles),
+                static_cast<unsigned long>(stats.takenBranches));
+
+    // Physical model: area / power / energy of the fabricated part.
+    std::printf("\n%s", chip.physicalReport().c_str());
+    std::printf("this run: %.2f ms, %.1f uJ\n",
+                chip.elapsedSeconds() * 1e3,
+                chip.energyJoules() * 1e6);
+    return 0;
+}

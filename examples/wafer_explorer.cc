@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Wafer-yield exploration: "if I fabricate N wafers of each core,
+ * what yield should I expect, and what drives the losses?"
+ *
+ * Runs the Monte-Carlo wafer study for both fabricated cores across
+ * several wafers and decomposes the inclusion-zone losses into hard
+ * defects vs timing faults at each voltage — the decomposition
+ * behind Table 5's numbers.
+ */
+
+#include <cstdio>
+
+#include "common/stats.hh"
+#include "yield/wafer_study.hh"
+
+using namespace flexi;
+
+int
+main()
+{
+    constexpr int kWafers = 8;
+
+    for (IsaKind isa : {IsaKind::FlexiCore4, IsaKind::FlexiCore8}) {
+        DesignSpec spec = designSpecFor(isa);
+        std::printf("\n%s: %u devices, critical path %.1f gate "
+                    "delays\n", spec.name.c_str(), spec.devices,
+                    spec.critDelayUnits);
+
+        RunningStat y45, y3;
+        size_t defect_loss = 0, timing3 = 0, timing45 = 0, total = 0;
+        for (int s = 0; s < kWafers; ++s) {
+            WaferStudyConfig cfg;
+            cfg.isa = isa;
+            cfg.seed = 500 + s;
+            cfg.gateLevelErrors = false;
+            auto res = runWaferStudy(cfg);
+            y45.add(res.yield(4.5, true));
+            y3.add(res.yield(3.0, true));
+            DieModel model(res.spec, cfg.params);
+            for (const auto &die : res.dies) {
+                if (!die.site.inInclusionZone)
+                    continue;
+                ++total;
+                if (die.sample.hasDefects())
+                    ++defect_loss;
+                else if (!model.meetsTiming(die.sample, 4.5))
+                    ++timing45;
+                else if (!model.meetsTiming(die.sample, 3.0))
+                    ++timing3;
+            }
+        }
+        std::printf("  inclusion-zone yield: %.0f%% @4.5 V "
+                    "(min %.0f%%, max %.0f%%), %.0f%% @3 V\n",
+                    y45.mean() * 100, y45.min() * 100,
+                    y45.max() * 100, y3.mean() * 100);
+        std::printf("  loss decomposition over %zu dies:\n", total);
+        std::printf("    hard defects:        %5.1f%%\n",
+                    100.0 * defect_loss / total);
+        std::printf("    timing fail @4.5 V:  %5.1f%%\n",
+                    100.0 * timing45 / total);
+        std::printf("    timing fail @3 V only:%4.1f%% (these dies "
+                    "work at 4.5 V)\n", 100.0 * timing3 / total);
+    }
+
+    std::printf("\nTakeaway (Section 4.1): FlexiCore8's extra "
+                "devices cost a few points of defect\nyield, but its "
+                "doubled ripple-carry chain is what collapses the "
+                "3 V yield.\n");
+    return 0;
+}

@@ -1,0 +1,566 @@
+#include "assembler.hh"
+
+#include <algorithm>
+#include <cctype>
+#include <map>
+#include <cstdlib>
+#include <optional>
+#include <sstream>
+#include <vector>
+
+#include "common/bitops.hh"
+#include "common/logging.hh"
+#include "isa/encoding.hh"
+
+namespace flexi
+{
+
+namespace
+{
+
+/** One source statement after lexing. */
+struct Statement
+{
+    unsigned line = 0;
+    std::string label;              // empty if none
+    std::string mnemonic;           // empty if label/directive only
+    std::vector<std::string> args;  // raw operand tokens
+    bool isDirective = false;
+};
+
+struct MnemonicInfo
+{
+    Op op;
+    Mode mode;
+};
+
+std::string
+toLower(std::string s)
+{
+    std::transform(s.begin(), s.end(), s.begin(),
+                   [](unsigned char c) { return std::tolower(c); });
+    return s;
+}
+
+std::string
+strip(const std::string &s)
+{
+    size_t a = s.find_first_not_of(" \t\r\n");
+    if (a == std::string::npos)
+        return "";
+    size_t b = s.find_last_not_of(" \t\r\n");
+    return s.substr(a, b - a + 1);
+}
+
+/** Parse a numeric literal (decimal / 0x / 0b, optional minus). */
+std::optional<long>
+parseNumber(const std::string &tok)
+{
+    std::string t = tok;
+    bool neg = false;
+    if (!t.empty() && (t[0] == '-' || t[0] == '+')) {
+        neg = t[0] == '-';
+        t = t.substr(1);
+    }
+    if (t.empty())
+        return std::nullopt;
+    long value = 0;
+    if (t.size() > 2 && t[0] == '0' && (t[1] == 'b' || t[1] == 'B')) {
+        for (size_t i = 2; i < t.size(); ++i) {
+            if (t[i] != '0' && t[i] != '1')
+                return std::nullopt;
+            value = value * 2 + (t[i] - '0');
+        }
+    } else {
+        char *end = nullptr;
+        value = std::strtol(t.c_str(), &end, 0);
+        if (end == t.c_str() || *end != '\0')
+            return std::nullopt;
+    }
+    return neg ? -value : value;
+}
+
+/** Parse "rN" register token. */
+std::optional<unsigned>
+parseReg(const std::string &tok)
+{
+    if (tok.size() < 2 || (tok[0] != 'r' && tok[0] != 'R'))
+        return std::nullopt;
+    auto n = parseNumber(tok.substr(1));
+    if (!n || *n < 0 || *n > 7)
+        return std::nullopt;
+    return static_cast<unsigned>(*n);
+}
+
+/** Per-ISA mnemonic tables. Condition-suffixed "br.xxx" handled on top. */
+std::optional<MnemonicInfo>
+lookupMnemonic(IsaKind isa, const std::string &m)
+{
+    auto base = [&]() -> std::optional<MnemonicInfo> {
+        if (m == "add") return MnemonicInfo{Op::Add, Mode::Mem};
+        if (m == "addi") return MnemonicInfo{Op::Add, Mode::Imm};
+        if (m == "nand") return MnemonicInfo{Op::Nand, Mode::Mem};
+        if (m == "nandi") return MnemonicInfo{Op::Nand, Mode::Imm};
+        if (m == "xor") return MnemonicInfo{Op::Xor, Mode::Mem};
+        if (m == "xori") return MnemonicInfo{Op::Xor, Mode::Imm};
+        if (m == "load") return MnemonicInfo{Op::Load, Mode::Mem};
+        if (m == "store") return MnemonicInfo{Op::Store, Mode::Mem};
+        if (m == "br") return MnemonicInfo{Op::Br, Mode::None};
+        return std::nullopt;
+    };
+    auto ext = [&]() -> std::optional<MnemonicInfo> {
+        if (m == "adc") return MnemonicInfo{Op::Adc, Mode::Mem};
+        if (m == "adci") return MnemonicInfo{Op::Adc, Mode::Imm};
+        if (m == "sub") return MnemonicInfo{Op::Sub, Mode::Mem};
+        if (m == "swb") return MnemonicInfo{Op::Swb, Mode::Mem};
+        if (m == "and") return MnemonicInfo{Op::And, Mode::Mem};
+        if (m == "andi") return MnemonicInfo{Op::And, Mode::Imm};
+        if (m == "or") return MnemonicInfo{Op::Or, Mode::Mem};
+        if (m == "ori") return MnemonicInfo{Op::Or, Mode::Imm};
+        if (m == "neg") return MnemonicInfo{Op::Neg, Mode::None};
+        if (m == "asr") return MnemonicInfo{Op::Asr, Mode::Mem};
+        if (m == "asri") return MnemonicInfo{Op::Asr, Mode::Imm};
+        if (m == "lsr") return MnemonicInfo{Op::Lsr, Mode::Mem};
+        if (m == "lsri") return MnemonicInfo{Op::Lsr, Mode::Imm};
+        if (m == "call") return MnemonicInfo{Op::Call, Mode::None};
+        if (m == "ret") return MnemonicInfo{Op::Ret, Mode::None};
+        return std::nullopt;
+    };
+
+    switch (isa) {
+      case IsaKind::FlexiCore4:
+        if (m == "nop")
+            return MnemonicInfo{Op::Add, Mode::Imm};   // addi 0
+        return base();
+      case IsaKind::FlexiCore8:
+        if (m == "ldb")
+            return MnemonicInfo{Op::Ldb, Mode::Imm};
+        if (m == "nop")
+            return MnemonicInfo{Op::Add, Mode::Imm};
+        return base();
+      case IsaKind::ExtAcc4: {
+        // No nand in the revised op set (Section 6.1).
+        if (m == "nand" || m == "nandi")
+            return std::nullopt;
+        if (m == "xch")
+            return MnemonicInfo{Op::Xch, Mode::Mem};
+        if (m == "li")
+            return MnemonicInfo{Op::Li, Mode::Imm};
+        if (m == "nop")
+            return MnemonicInfo{Op::Or, Mode::Imm};    // ori 0
+        if (auto r = base(); r)
+            return r;
+        return ext();
+      }
+      case IsaKind::LoadStore4: {
+        if (m == "nand" || m == "nandi" || m == "load" || m == "store")
+            return std::nullopt;
+        if (m == "mov")
+            return MnemonicInfo{Op::Mov, Mode::Mem};
+        if (m == "movi")
+            return MnemonicInfo{Op::Mov, Mode::Imm};
+        if (m == "nop")
+            return MnemonicInfo{Op::Or, Mode::Imm};
+        if (auto r = base(); r)
+            return r;
+        return ext();
+      }
+    }
+    return std::nullopt;
+}
+
+/** Immediate field width for (isa, op). */
+unsigned
+immWidth(IsaKind isa, Op op)
+{
+    if (op == Op::Ldb)
+        return 8;
+    switch (isa) {
+      case IsaKind::FlexiCore4:
+      case IsaKind::FlexiCore8:
+      case IsaKind::LoadStore4:
+        return 4;
+      case IsaKind::ExtAcc4:
+        return 3;
+    }
+    return 4;
+}
+
+uint8_t
+parseCond(const std::string &suffix, unsigned line)
+{
+    uint8_t cond = 0;
+    for (char c : suffix) {
+        switch (c) {
+          case 'n': cond |= kCondN; break;
+          case 'z': cond |= kCondZ; break;
+          case 'p': cond |= kCondP; break;
+          default:
+            fatal("line %u: bad branch condition '.%s'", line,
+                  suffix.c_str());
+        }
+    }
+    if (!cond)
+        fatal("line %u: empty branch condition", line);
+    return cond;
+}
+
+/** Split a line into a Statement (label / mnemonic / args). */
+std::optional<Statement>
+lexLine(const std::string &raw, unsigned line_no)
+{
+    // Strip comments.
+    std::string s = raw;
+    for (const char *marker : {";", "#", "//"}) {
+        size_t pos = s.find(marker);
+        if (pos != std::string::npos)
+            s = s.substr(0, pos);
+    }
+    s = strip(s);
+    if (s.empty())
+        return std::nullopt;
+
+    Statement st;
+    st.line = line_no;
+
+    // Optional leading label.
+    size_t colon = s.find(':');
+    if (colon != std::string::npos) {
+        std::string lbl = strip(s.substr(0, colon));
+        bool ok = !lbl.empty();
+        for (char c : lbl)
+            if (!std::isalnum(static_cast<unsigned char>(c)) &&
+                c != '_')
+                ok = false;
+        if (ok) {
+            st.label = lbl;
+            s = strip(s.substr(colon + 1));
+        }
+    }
+    if (s.empty())
+        return st;
+
+    if (s[0] == '.') {
+        st.isDirective = true;
+        s = s.substr(1);
+    }
+
+    std::istringstream in(s);
+    in >> st.mnemonic;
+    st.mnemonic = toLower(st.mnemonic);
+    std::string rest;
+    std::getline(in, rest);
+    rest = strip(rest);
+    // Comma- or space-separated operands.
+    std::string cur;
+    for (char c : rest + ",") {
+        if (c == ',' || c == ' ' || c == '\t') {
+            cur = strip(cur);
+            if (!cur.empty())
+                st.args.push_back(cur);
+            cur.clear();
+        } else {
+            cur += c;
+        }
+    }
+    return st;
+}
+
+/** Size in PC units of a statement's instruction(s). */
+unsigned
+stmtSize(IsaKind isa, const Statement &st, const MnemonicInfo &info)
+{
+    (void)st;
+    if (isa == IsaKind::LoadStore4)
+        return 1;   // PC counts 16-bit words
+    if (info.op == Op::Ldb)
+        return 2;
+    if (isa == IsaKind::ExtAcc4 &&
+        (info.op == Op::Br || info.op == Op::Call))
+        return 2;
+    return 1;
+}
+
+class AssemblerPass
+{
+  public:
+    AssemblerPass(IsaKind isa, Program &prog, bool emit)
+        : isa_(isa), prog_(prog), emit_(emit)
+    {}
+
+    void run(const std::vector<Statement> &stmts);
+
+  private:
+    void directive(const Statement &st);
+    void instruction(const Statement &st);
+    unsigned resolveTarget(const Statement &st, const std::string &tok);
+    void pad(unsigned to_units);
+
+    /** Parse a literal or a .equ-defined name. */
+    std::optional<long> resolveNumber(const std::string &tok) const;
+
+    IsaKind isa_;
+    Program &prog_;
+    bool emit_;
+    unsigned page_ = 0;
+    unsigned pc_ = 0;   // PC units within the page
+    /** Per-page fill tracked locally (pass 1 emits nothing). */
+    std::vector<unsigned> pass1Fill_;
+    /** .equ constants. */
+    std::map<std::string, long> equs_;
+};
+
+std::optional<long>
+AssemblerPass::resolveNumber(const std::string &tok) const
+{
+    if (auto n = parseNumber(tok))
+        return n;
+    auto it = equs_.find(tok);
+    if (it != equs_.end())
+        return it->second;
+    return std::nullopt;
+}
+
+void
+AssemblerPass::pad(unsigned to_units)
+{
+    if (to_units < pc_)
+        fatal(".org backwards (from %u to %u)", pc_, to_units);
+    unsigned unit_bytes = isa_ == IsaKind::LoadStore4 ? 2 : 1;
+    if (emit_) {
+        std::vector<uint8_t> zeros((to_units - pc_) * unit_bytes, 0);
+        prog_.appendBytes(page_, zeros);
+    }
+    pc_ = to_units;
+}
+
+void
+AssemblerPass::directive(const Statement &st)
+{
+    auto numArg = [&](size_t i) -> long {
+        if (i >= st.args.size())
+            fatal("line %u: .%s needs an argument", st.line,
+                  st.mnemonic.c_str());
+        auto n = resolveNumber(st.args[i]);
+        if (!n)
+            fatal("line %u: bad number '%s'", st.line,
+                  st.args[i].c_str());
+        return *n;
+    };
+
+    if (st.mnemonic == "equ") {
+        // .equ NAME VALUE — a named constant usable wherever a
+        // number is (immediates, targets, other directives).
+        if (st.args.size() != 2)
+            fatal("line %u: .equ needs a name and a value", st.line);
+        long v = numArg(1);
+        equs_[st.args[0]] = v;
+        return;
+    }
+
+    if (st.mnemonic == "page") {
+        long p = numArg(0);
+        if (p < 0 || p > 15)
+            fatal("line %u: page %ld out of range (0..15)", st.line, p);
+        page_ = static_cast<unsigned>(p);
+        pc_ = prog_.pageFill(page_);
+        // (pageFill is 0 in pass 1 since nothing is emitted; pass 1
+        // tracks sizes itself, so re-derive from our own records.)
+        if (!emit_)
+            pc_ = pass1Fill_.size() > page_ ? pass1Fill_[page_] : 0;
+        if (pass1Fill_.size() <= page_)
+            pass1Fill_.resize(page_ + 1, 0);
+    } else if (st.mnemonic == "org") {
+        long a = numArg(0);
+        if (a < 0 || a >= static_cast<long>(kPageSize))
+            fatal("line %u: .org %ld out of page range", st.line, a);
+        pad(static_cast<unsigned>(a));
+    } else if (st.mnemonic == "byte") {
+        for (size_t i = 0; i < st.args.size(); ++i) {
+            long v = numArg(i);
+            if (v < -128 || v > 255)
+                fatal("line %u: byte value %ld out of range",
+                      st.line, v);
+            if (emit_)
+                prog_.appendBytes(
+                    page_, {static_cast<uint8_t>(v & 0xFF)});
+            if (isa_ == IsaKind::LoadStore4)
+                fatal("line %u: .byte unsupported on LoadStore4 "
+                      "(word-addressed)", st.line);
+            ++pc_;
+        }
+    } else {
+        fatal("line %u: unknown directive '.%s'", st.line,
+              st.mnemonic.c_str());
+    }
+    if (pass1Fill_.size() <= page_)
+        pass1Fill_.resize(page_ + 1, 0);
+    pass1Fill_[page_] = std::max(pass1Fill_[page_], pc_);
+}
+
+unsigned
+AssemblerPass::resolveTarget(const Statement &st, const std::string &tok)
+{
+    // '@label' allows a cross-page target: the branch only sets the
+    // 7-bit PC, and the MMU escape sequence selects the page. Used
+    // together with .page for programs larger than 128 instructions.
+    if (!tok.empty() && tok[0] == '@') {
+        if (!emit_)
+            return 0;
+        return prog_.symbol(tok.substr(1)).addr;
+    }
+    if (auto n = resolveNumber(tok)) {
+        if (*n < 0 || *n >= static_cast<long>(kPageSize))
+            fatal("line %u: target %ld out of 7-bit range", st.line, *n);
+        return static_cast<unsigned>(*n);
+    }
+    if (!emit_)
+        return 0;   // symbols resolve in pass 2
+    SymbolLoc loc = prog_.symbol(tok);
+    if (loc.page != page_)
+        fatal("line %u: branch to '%s' crosses pages (%u -> %u); "
+              "use an MMU page-switch sequence", st.line, tok.c_str(),
+              page_, loc.page);
+    return loc.addr;
+}
+
+void
+AssemblerPass::instruction(const Statement &st)
+{
+    std::string mnem = st.mnemonic;
+    uint8_t cond = 0;
+    size_t dot = mnem.find('.');
+    if (dot != std::string::npos && mnem.substr(0, dot) == "br") {
+        if (isa_ == IsaKind::FlexiCore4 || isa_ == IsaKind::FlexiCore8)
+            fatal("line %u: condition codes need the extended ISA",
+                  st.line);
+        cond = parseCond(mnem.substr(dot + 1), st.line);
+        mnem = "br";
+    }
+
+    auto info = lookupMnemonic(isa_, mnem);
+    if (!info)
+        fatal("line %u: unknown mnemonic '%s' for %s", st.line,
+              mnem.c_str(), isaName(isa_));
+
+    Instruction inst;
+    inst.op = info->op;
+    inst.mode = info->mode;
+    inst.cond = cond;
+
+    size_t argi = 0;
+    bool load_store = isa_ == IsaKind::LoadStore4;
+
+    if (load_store && inst.op != Op::Br && inst.op != Op::Call &&
+        inst.op != Op::Ret) {
+        if (argi >= st.args.size())
+            fatal("line %u: missing destination register", st.line);
+        auto rd = parseReg(st.args[argi++]);
+        if (!rd)
+            fatal("line %u: bad destination register '%s'", st.line,
+                  st.args[argi - 1].c_str());
+        inst.rd = static_cast<uint8_t>(*rd);
+    }
+
+    if (inst.op == Op::Br || inst.op == Op::Call) {
+        if (argi >= st.args.size())
+            fatal("line %u: missing branch target", st.line);
+        inst.target = static_cast<uint8_t>(
+            resolveTarget(st, st.args[argi++]));
+    } else if (inst.mode == Mode::Mem) {
+        // Unary LS ops (neg/asr/lsr with no source) are allowed.
+        bool unary_ok = load_store &&
+            (inst.op == Op::Asr || inst.op == Op::Lsr);
+        bool acc_shift = !load_store &&
+            (inst.op == Op::Asr || inst.op == Op::Lsr);
+        if (acc_shift) {
+            // Accumulator asr/lsr take no operand (shift by one).
+            inst.mode = Mode::None;
+        } else if (argi < st.args.size()) {
+            auto r = parseReg(st.args[argi]);
+            if (!r)
+                fatal("line %u: expected register, got '%s'", st.line,
+                      st.args[argi].c_str());
+            inst.operand = static_cast<uint8_t>(*r);
+            ++argi;
+        } else if (unary_ok) {
+            inst.mode = Mode::Imm;
+            inst.operand = 1;
+        } else {
+            fatal("line %u: missing operand", st.line);
+        }
+    } else if (inst.mode == Mode::Imm) {
+        if (argi >= st.args.size())
+            fatal("line %u: missing immediate", st.line);
+        auto n = resolveNumber(st.args[argi++]);
+        if (!n)
+            fatal("line %u: bad immediate '%s'", st.line,
+                  st.args[argi - 1].c_str());
+        unsigned w = immWidth(isa_, inst.op);
+        long lo = -(1L << (w - 1));
+        long hi = (1L << w) - 1;
+        if (*n < lo || *n > hi)
+            fatal("line %u: immediate %ld outside %u-bit field",
+                  st.line, *n, w);
+        inst.operand = static_cast<uint8_t>(
+            maskBits(static_cast<uint32_t>(*n), w));
+    }
+
+    if (argi < st.args.size())
+        fatal("line %u: trailing operand '%s'", st.line,
+              st.args[argi].c_str());
+
+    unsigned size = stmtSize(isa_, st, *info);
+    if (pc_ + size > kPageSize)
+        fatal("line %u: page %u overflows 128 entries", st.line, page_);
+
+    if (emit_) {
+        prog_.appendBytes(page_, encode(isa_, inst));
+        prog_.noteInstruction(
+            isa_ == IsaKind::LoadStore4 ? 16 : size * 8);
+    }
+    pc_ += size;
+    if (pass1Fill_.size() <= page_)
+        pass1Fill_.resize(page_ + 1, 0);
+    pass1Fill_[page_] = std::max(pass1Fill_[page_], pc_);
+}
+
+void
+AssemblerPass::run(const std::vector<Statement> &stmts)
+{
+    for (const auto &st : stmts) {
+        if (!st.label.empty() && !emit_)
+            prog_.defineSymbol(st.label, {page_, pc_});
+        if (st.mnemonic.empty())
+            continue;
+        if (st.isDirective)
+            directive(st);
+        else
+            instruction(st);
+    }
+}
+
+} // namespace
+
+Program
+assemble(IsaKind isa, const std::string &source)
+{
+    std::vector<Statement> stmts;
+    std::istringstream in(source);
+    std::string line;
+    unsigned line_no = 0;
+    while (std::getline(in, line)) {
+        ++line_no;
+        if (auto st = lexLine(line, line_no))
+            stmts.push_back(std::move(*st));
+    }
+
+    Program prog(isa);
+    AssemblerPass pass1(isa, prog, /*emit=*/false);
+    pass1.run(stmts);
+    AssemblerPass pass2(isa, prog, /*emit=*/true);
+    pass2.run(stmts);
+    return prog;
+}
+
+} // namespace flexi

@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Two-pass assembler for the FlexiCore family ISAs.
+ *
+ * The paper's programs "are written in a highly readable assembly
+ * language [and] assembled into machine code binaries by a custom
+ * assembler" (Section 5.1). This is that assembler, in C++, for all
+ * four ISAs.
+ *
+ * Syntax:
+ * @code
+ *   ; comment (also '#' and '//')
+ *   loop:  addi 3          ; label definitions end with ':'
+ *          add r4          ; rN = data-memory word N (r0=in, r1=out)
+ *          br loop         ; targets: label or literal address
+ *          br.nz loop      ; ExtAcc4/LoadStore4 nzp condition codes
+ *          mov r2, r3      ; LoadStore4 two-operand form
+ *   .page 1                ; switch MMU page
+ *   .org 0x10              ; advance within the page (zero-filled)
+ *   .byte 0x3A             ; raw byte
+ * @endcode
+ *
+ * Immediates accept decimal, 0x hex and 0b binary, and may be
+ * negative; they are masked to the field width (e.g. `addi -3` on
+ * FlexiCore4 encodes 0b1101).
+ */
+
+#ifndef FLEXI_ASSEMBLER_ASSEMBLER_HH
+#define FLEXI_ASSEMBLER_ASSEMBLER_HH
+
+#include <string>
+
+#include "assembler/program.hh"
+#include "isa/isa.hh"
+
+namespace flexi
+{
+
+/**
+ * Assemble @p source for @p isa. Throws FatalError with a line-
+ * numbered message on any syntax or range error.
+ */
+Program assemble(IsaKind isa, const std::string &source);
+
+} // namespace flexi
+
+#endif // FLEXI_ASSEMBLER_ASSEMBLER_HH

@@ -1,0 +1,102 @@
+#include "program.hh"
+
+#include "common/logging.hh"
+
+namespace flexi
+{
+
+Program::Program(IsaKind isa)
+    : isa_(isa)
+{
+}
+
+unsigned
+Program::numPages() const
+{
+    return static_cast<unsigned>(pages_.size());
+}
+
+const std::vector<uint8_t> &
+Program::page(unsigned idx) const
+{
+    if (idx >= pages_.size())
+        fatal("program has no page %u", idx);
+    return pages_[idx];
+}
+
+std::vector<uint8_t> &
+Program::mutablePage(unsigned idx)
+{
+    if (idx >= pages_.size())
+        pages_.resize(idx + 1);
+    return pages_[idx];
+}
+
+unsigned
+Program::pageCapacityBytes() const
+{
+    return isa_ == IsaKind::LoadStore4 ? kPageSize * 2 : kPageSize;
+}
+
+void
+Program::appendBytes(unsigned page, const std::vector<uint8_t> &bytes)
+{
+    auto &img = mutablePage(page);
+    if (img.size() + bytes.size() > pageCapacityBytes())
+        fatal("page %u overflows its %u-byte capacity", page,
+              pageCapacityBytes());
+    img.insert(img.end(), bytes.begin(), bytes.end());
+}
+
+unsigned
+Program::pageFill(unsigned page) const
+{
+    if (page >= pages_.size())
+        return 0;
+    unsigned bytes = static_cast<unsigned>(pages_[page].size());
+    return isa_ == IsaKind::LoadStore4 ? bytes / 2 : bytes;
+}
+
+void
+Program::defineSymbol(const std::string &name, SymbolLoc loc)
+{
+    auto [it, inserted] = symbols_.emplace(name, loc);
+    if (!inserted)
+        fatal("duplicate label '%s'", name.c_str());
+}
+
+bool
+Program::hasSymbol(const std::string &name) const
+{
+    return symbols_.count(name) != 0;
+}
+
+SymbolLoc
+Program::symbol(const std::string &name) const
+{
+    auto it = symbols_.find(name);
+    if (it == symbols_.end())
+        fatal("undefined label '%s'", name.c_str());
+    return it->second;
+}
+
+const std::map<std::string, SymbolLoc> &
+Program::symbols() const
+{
+    return symbols_;
+}
+
+void
+Program::noteInstruction(unsigned size_bits)
+{
+    ++staticInsts_;
+    codeBits_ += size_bits;
+}
+
+size_t
+Program::codeSizeBytes() const
+{
+    return (codeBits_ + 7) / 8;
+}
+
+} // namespace flexi

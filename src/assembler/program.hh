@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Assembled program image.
+ *
+ * FlexiCore programs live in off-chip memory organized as 128-entry
+ * pages (7-bit PC); programs larger than one page span multiple pages
+ * and switch between them through the off-chip MMU (Section 5.1).
+ * A Program holds the per-page binary images plus the symbol table
+ * and size metrics used by the code-size studies (Figures 9/10/12).
+ */
+
+#ifndef FLEXI_ASSEMBLER_PROGRAM_HH
+#define FLEXI_ASSEMBLER_PROGRAM_HH
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "isa/isa.hh"
+
+namespace flexi
+{
+
+/** Location of a label: page number plus page-relative address. */
+struct SymbolLoc
+{
+    unsigned page = 0;
+    unsigned addr = 0;
+
+    bool operator==(const SymbolLoc &other) const = default;
+};
+
+/** An assembled, possibly multi-page, program. */
+class Program
+{
+  public:
+    explicit Program(IsaKind isa);
+
+    IsaKind isa() const { return isa_; }
+
+    /** Number of pages with any content. */
+    unsigned numPages() const;
+
+    /** Byte image of one page (sized to content, <= page capacity). */
+    const std::vector<uint8_t> &page(unsigned idx) const;
+    std::vector<uint8_t> &mutablePage(unsigned idx);
+
+    /** Page capacity in bytes (256 for LoadStore4, else 128). */
+    unsigned pageCapacityBytes() const;
+
+    /** Append raw bytes to a page; fatal on overflow. */
+    void appendBytes(unsigned page, const std::vector<uint8_t> &bytes);
+
+    /** Current fill of a page, in PC units (words for LoadStore4). */
+    unsigned pageFill(unsigned page) const;
+
+    void defineSymbol(const std::string &name, SymbolLoc loc);
+    bool hasSymbol(const std::string &name) const;
+    SymbolLoc symbol(const std::string &name) const;
+    const std::map<std::string, SymbolLoc> &symbols() const;
+
+    /** Bookkeeping used by the code-size studies. */
+    void noteInstruction(unsigned size_bits);
+    size_t staticInstructions() const { return staticInsts_; }
+    size_t codeSizeBits() const { return codeBits_; }
+    size_t codeSizeBytes() const;
+
+  private:
+    IsaKind isa_;
+    std::vector<std::vector<uint8_t>> pages_;
+    std::map<std::string, SymbolLoc> symbols_;
+    size_t staticInsts_ = 0;
+    size_t codeBits_ = 0;
+};
+
+} // namespace flexi
+
+#endif // FLEXI_ASSEMBLER_PROGRAM_HH

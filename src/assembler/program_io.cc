@@ -1,0 +1,125 @@
+#include "program_io.hh"
+#include <cstring>
+
+#include <fstream>
+#include <istream>
+#include <ostream>
+
+#include "common/logging.hh"
+#include "isa/encoding.hh"
+
+namespace flexi
+{
+
+namespace
+{
+
+constexpr char kMagic[4] = {'F', 'L', 'X', 'C'};
+constexpr uint8_t kVersion = 1;
+
+void
+countInstructions(Program &prog)
+{
+    // Recompute the static-size statistics by walking the images.
+    for (unsigned page = 0; page < prog.numPages(); ++page) {
+        const auto &img = prog.page(page);
+        unsigned step = prog.isa() == IsaKind::LoadStore4 ? 2 : 1;
+        unsigned entries = static_cast<unsigned>(img.size()) / step;
+        unsigned pc = 0;
+        while (pc < entries) {
+            DecodeResult dec = decodeAt(prog.isa(), img, pc);
+            prog.noteInstruction(
+                prog.isa() == IsaKind::LoadStore4 ? 16
+                                                  : dec.bytes * 8);
+            pc += prog.isa() == IsaKind::LoadStore4 ? 1 : dec.bytes;
+        }
+    }
+}
+
+} // namespace
+
+void
+saveProgram(const Program &prog, std::ostream &out)
+{
+    out.write(kMagic, 4);
+    out.put(static_cast<char>(kVersion));
+    out.put(static_cast<char>(prog.isa()));
+    // Count non-empty pages.
+    uint8_t npages = 0;
+    for (unsigned p = 0; p < prog.numPages(); ++p)
+        if (!prog.page(p).empty())
+            ++npages;
+    out.put(static_cast<char>(npages));
+    for (unsigned p = 0; p < prog.numPages(); ++p) {
+        const auto &img = prog.page(p);
+        if (img.empty())
+            continue;
+        out.put(static_cast<char>(p));
+        out.put(static_cast<char>(img.size() & 0xFF));
+        out.put(static_cast<char>((img.size() >> 8) & 0xFF));
+        out.write(reinterpret_cast<const char *>(img.data()),
+                  static_cast<std::streamsize>(img.size()));
+    }
+    if (!out)
+        fatal("program image write failed");
+}
+
+Program
+loadProgram(std::istream &in)
+{
+    char magic[4] = {};
+    in.read(magic, 4);
+    if (!in || std::memcmp(magic, kMagic, 4) != 0)
+        fatal("not a FlexiCore program image (bad magic)");
+    int version = in.get();
+    if (version != kVersion)
+        fatal("unsupported program image version %d", version);
+    int isa_raw = in.get();
+    if (isa_raw < 0 ||
+        isa_raw > static_cast<int>(IsaKind::LoadStore4))
+        fatal("program image has bad ISA id %d", isa_raw);
+    Program prog(static_cast<IsaKind>(isa_raw));
+
+    int npages = in.get();
+    if (npages < 0 || npages > 16)
+        fatal("program image has bad page count");
+    for (int i = 0; i < npages; ++i) {
+        int page = in.get();
+        int lo = in.get();
+        int hi = in.get();
+        if (page < 0 || page > 15 || lo < 0 || hi < 0)
+            fatal("truncated program image header");
+        size_t len = static_cast<size_t>(lo) |
+                     (static_cast<size_t>(hi) << 8);
+        if (len > prog.pageCapacityBytes())
+            fatal("page %d exceeds capacity", page);
+        std::vector<uint8_t> bytes(len);
+        in.read(reinterpret_cast<char *>(bytes.data()),
+                static_cast<std::streamsize>(len));
+        if (!in)
+            fatal("truncated program image data");
+        prog.appendBytes(static_cast<unsigned>(page), bytes);
+    }
+    countInstructions(prog);
+    return prog;
+}
+
+void
+saveProgramFile(const Program &prog, const std::string &path)
+{
+    std::ofstream out(path, std::ios::binary);
+    if (!out)
+        fatal("cannot open '%s' for writing", path.c_str());
+    saveProgram(prog, out);
+}
+
+Program
+loadProgramFile(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in)
+        fatal("cannot open '%s'", path.c_str());
+    return loadProgram(in);
+}
+
+} // namespace flexi

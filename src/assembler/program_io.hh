@@ -1,0 +1,39 @@
+/**
+ * @file
+ * Binary program-image container.
+ *
+ * FlexiCore programs live in off-chip memory chips; this is the
+ * simple container the tools use to ship assembled images around
+ * (flexiasm -o / flexisim on a .bin):
+ *
+ *   "FLXC" | version u8 | isa u8 | npages u8 |
+ *   npages x { page u8 | length u16 LE | bytes }
+ *
+ * Symbols and size statistics are assembly-time artifacts and are
+ * not serialized (instruction counts are recomputed on load).
+ */
+
+#ifndef FLEXI_ASSEMBLER_PROGRAM_IO_HH
+#define FLEXI_ASSEMBLER_PROGRAM_IO_HH
+
+#include <iosfwd>
+#include <string>
+
+#include "assembler/program.hh"
+
+namespace flexi
+{
+
+/** Serialize @p prog to a stream. */
+void saveProgram(const Program &prog, std::ostream &out);
+
+/** Parse a program image; throws FatalError on malformed input. */
+Program loadProgram(std::istream &in);
+
+/** File-path conveniences. */
+void saveProgramFile(const Program &prog, const std::string &path);
+Program loadProgramFile(const std::string &path);
+
+} // namespace flexi
+
+#endif // FLEXI_ASSEMBLER_PROGRAM_IO_HH

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Small bit-manipulation helpers used throughout the library.
+ */
+
+#ifndef FLEXI_COMMON_BITOPS_HH
+#define FLEXI_COMMON_BITOPS_HH
+
+#include <cstdint>
+
+namespace flexi
+{
+
+/** Extract bits [hi:lo] (inclusive) of @p value. */
+constexpr uint32_t
+bits(uint32_t value, unsigned hi, unsigned lo)
+{
+    unsigned width = hi - lo + 1;
+    uint32_t mask = width >= 32 ? ~0u : ((1u << width) - 1u);
+    return (value >> lo) & mask;
+}
+
+/** Extract a single bit of @p value. */
+constexpr bool
+bit(uint32_t value, unsigned pos)
+{
+    return (value >> pos) & 1u;
+}
+
+/** Mask @p value down to @p width bits. */
+constexpr uint32_t
+maskBits(uint32_t value, unsigned width)
+{
+    return width >= 32 ? value : (value & ((1u << width) - 1u));
+}
+
+/**
+ * Sign-extend the low @p width bits of @p value to a signed int.
+ * E.g. signExtend(0xF, 4) == -1.
+ */
+constexpr int32_t
+signExtend(uint32_t value, unsigned width)
+{
+    uint32_t m = 1u << (width - 1);
+    uint32_t v = maskBits(value, width);
+    return static_cast<int32_t>((v ^ m) - m);
+}
+
+/** Population count over the low @p width bits. */
+constexpr unsigned
+popcount(uint32_t value, unsigned width = 32)
+{
+    unsigned n = 0;
+    for (unsigned i = 0; i < width; ++i)
+        n += bit(value, i);
+    return n;
+}
+
+/** Even parity (1 if an odd number of set bits) of low @p width bits. */
+constexpr unsigned
+parity(uint32_t value, unsigned width = 8)
+{
+    return popcount(value, width) & 1u;
+}
+
+} // namespace flexi
+
+#endif // FLEXI_COMMON_BITOPS_HH

@@ -1,0 +1,91 @@
+#include "logging.hh"
+
+#include <atomic>
+#include <cstdio>
+#include <vector>
+
+namespace flexi
+{
+
+namespace
+{
+std::atomic<bool> quietMode{false};
+} // namespace
+
+std::string
+vstrfmt(const char *fmt, va_list ap)
+{
+    va_list ap2;
+    va_copy(ap2, ap);
+    int n = std::vsnprintf(nullptr, 0, fmt, ap);
+    std::string out;
+    if (n > 0) {
+        std::vector<char> buf(static_cast<size_t>(n) + 1);
+        std::vsnprintf(buf.data(), buf.size(), fmt, ap2);
+        out.assign(buf.data(), static_cast<size_t>(n));
+    }
+    va_end(ap2);
+    return out;
+}
+
+std::string
+strfmt(const char *fmt, ...)
+{
+    va_list ap;
+    va_start(ap, fmt);
+    std::string s = vstrfmt(fmt, ap);
+    va_end(ap);
+    return s;
+}
+
+void
+panic(const char *fmt, ...)
+{
+    va_list ap;
+    va_start(ap, fmt);
+    std::string msg = vstrfmt(fmt, ap);
+    va_end(ap);
+    throw PanicError("panic: " + msg);
+}
+
+void
+fatal(const char *fmt, ...)
+{
+    va_list ap;
+    va_start(ap, fmt);
+    std::string msg = vstrfmt(fmt, ap);
+    va_end(ap);
+    throw FatalError("fatal: " + msg);
+}
+
+void
+warn(const char *fmt, ...)
+{
+    if (quietMode.load())
+        return;
+    va_list ap;
+    va_start(ap, fmt);
+    std::string msg = vstrfmt(fmt, ap);
+    va_end(ap);
+    std::fprintf(stderr, "warn: %s\n", msg.c_str());
+}
+
+void
+inform(const char *fmt, ...)
+{
+    if (quietMode.load())
+        return;
+    va_list ap;
+    va_start(ap, fmt);
+    std::string msg = vstrfmt(fmt, ap);
+    va_end(ap);
+    std::fprintf(stderr, "info: %s\n", msg.c_str());
+}
+
+void
+setQuiet(bool quiet)
+{
+    quietMode.store(quiet);
+}
+
+} // namespace flexi

@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Status-message and error-reporting helpers.
+ *
+ * Follows the gem5 convention: panic() for internal invariant
+ * violations (bugs in the library itself), fatal() for user errors
+ * that prevent continuing (bad configuration, malformed assembly),
+ * warn()/inform() for non-fatal diagnostics.
+ */
+
+#ifndef FLEXI_COMMON_LOGGING_HH
+#define FLEXI_COMMON_LOGGING_HH
+
+#include <cstdarg>
+#include <stdexcept>
+#include <string>
+
+namespace flexi
+{
+
+/** Exception thrown by fatal(): a user-level error (bad input). */
+class FatalError : public std::runtime_error
+{
+  public:
+    explicit FatalError(const std::string &msg)
+        : std::runtime_error(msg)
+    {}
+};
+
+/** Exception thrown by panic(): an internal invariant violation. */
+class PanicError : public std::logic_error
+{
+  public:
+    explicit PanicError(const std::string &msg)
+        : std::logic_error(msg)
+    {}
+};
+
+/** printf-style formatting into a std::string. */
+std::string vstrfmt(const char *fmt, va_list ap);
+std::string strfmt(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/**
+ * Report an unrecoverable internal error. Something that should
+ * never happen regardless of user input. Throws PanicError so test
+ * code can assert on it instead of aborting the process.
+ */
+[[noreturn]] void panic(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/**
+ * Report an unrecoverable user error (bad configuration, malformed
+ * assembly source, out-of-range parameter). Throws FatalError.
+ */
+[[noreturn]] void fatal(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/** Non-fatal warning, printed to stderr (once per distinct call). */
+void warn(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/** Informational message to stderr. */
+void inform(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/** Globally silence warn()/inform() (used by benchmarks). */
+void setQuiet(bool quiet);
+
+} // namespace flexi
+
+#endif // FLEXI_COMMON_LOGGING_HH

@@ -1,0 +1,94 @@
+#include "rng.hh"
+
+#include <cmath>
+
+#include "logging.hh"
+
+namespace flexi
+{
+
+Rng::Rng(uint64_t seed)
+    : state_(seed ? seed : 0x9E3779B97F4A7C15ull)
+{
+}
+
+uint64_t
+Rng::next()
+{
+    // xorshift64* (Marsaglia / Vigna).
+    uint64_t x = state_;
+    x ^= x >> 12;
+    x ^= x << 25;
+    x ^= x >> 27;
+    state_ = x;
+    return x * 0x2545F4914F6CDD1Dull;
+}
+
+double
+Rng::uniform()
+{
+    // 53 random mantissa bits.
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+}
+
+double
+Rng::uniform(double lo, double hi)
+{
+    return lo + (hi - lo) * uniform();
+}
+
+uint64_t
+Rng::below(uint64_t n)
+{
+    if (n == 0)
+        panic("Rng::below(0)");
+    // Rejection sampling to avoid modulo bias.
+    uint64_t limit = UINT64_MAX - UINT64_MAX % n;
+    uint64_t v;
+    do {
+        v = next();
+    } while (v >= limit);
+    return v % n;
+}
+
+int64_t
+Rng::range(int64_t lo, int64_t hi)
+{
+    if (hi < lo)
+        panic("Rng::range: hi < lo");
+    return lo + static_cast<int64_t>(
+        below(static_cast<uint64_t>(hi - lo) + 1));
+}
+
+double
+Rng::gaussian()
+{
+    if (haveSpare_) {
+        haveSpare_ = false;
+        return spare_;
+    }
+    double u, v, s;
+    do {
+        u = uniform(-1.0, 1.0);
+        v = uniform(-1.0, 1.0);
+        s = u * u + v * v;
+    } while (s >= 1.0 || s == 0.0);
+    double f = std::sqrt(-2.0 * std::log(s) / s);
+    spare_ = v * f;
+    haveSpare_ = true;
+    return u * f;
+}
+
+double
+Rng::gaussian(double mean, double sigma)
+{
+    return mean + sigma * gaussian();
+}
+
+bool
+Rng::chance(double p)
+{
+    return uniform() < p;
+}
+
+} // namespace flexi

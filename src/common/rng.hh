@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generation.
+ *
+ * A xorshift64* generator is used everywhere randomness is needed
+ * (Monte-Carlo yield studies, random test vectors, random kernel
+ * inputs) so that every experiment in the repository is exactly
+ * reproducible from a seed. This mirrors the paper's own use of
+ * xorshift as a benchmark kernel (XorShift8, [Marsaglia 2003]).
+ */
+
+#ifndef FLEXI_COMMON_RNG_HH
+#define FLEXI_COMMON_RNG_HH
+
+#include <cstdint>
+
+namespace flexi
+{
+
+/** Deterministic xorshift64* PRNG with convenience distributions. */
+class Rng
+{
+  public:
+    explicit Rng(uint64_t seed = 0x9E3779B97F4A7C15ull);
+
+    /** Next raw 64-bit value. */
+    uint64_t next();
+
+    /** Uniform double in [0, 1). */
+    double uniform();
+
+    /** Uniform double in [lo, hi). */
+    double uniform(double lo, double hi);
+
+    /** Uniform integer in [0, n). @p n must be > 0. */
+    uint64_t below(uint64_t n);
+
+    /** Uniform integer in [lo, hi] inclusive. */
+    int64_t range(int64_t lo, int64_t hi);
+
+    /** Standard normal via Box-Muller (cached pair). */
+    double gaussian();
+
+    /** Normal with the given mean and standard deviation. */
+    double gaussian(double mean, double sigma);
+
+    /** Bernoulli draw with probability @p p of true. */
+    bool chance(double p);
+
+  private:
+    uint64_t state_;
+    bool haveSpare_ = false;
+    double spare_ = 0.0;
+};
+
+} // namespace flexi
+
+#endif // FLEXI_COMMON_RNG_HH

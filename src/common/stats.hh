@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Running statistics accumulator and small table-printing helpers.
+ *
+ * The yield / process-variation studies report means, standard
+ * deviations and relative standard deviations (RSD) over per-die
+ * measurements; RunningStat provides these with a numerically stable
+ * (Welford) update.
+ */
+
+#ifndef FLEXI_COMMON_STATS_HH
+#define FLEXI_COMMON_STATS_HH
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace flexi
+{
+
+/** Welford-style running mean/variance/min/max accumulator. */
+class RunningStat
+{
+  public:
+    void add(double x);
+
+    size_t count() const { return n_; }
+    double mean() const;
+    /** Sample variance (n-1 denominator). */
+    double variance() const;
+    double stddev() const;
+    /** Relative standard deviation, stddev/mean. */
+    double rsd() const;
+    double min() const;
+    double max() const;
+
+  private:
+    size_t n_ = 0;
+    double mean_ = 0.0;
+    double m2_ = 0.0;
+    double min_ = 0.0;
+    double max_ = 0.0;
+};
+
+/**
+ * Fixed-column ASCII table builder used by the benchmark harnesses to
+ * print paper tables and figure series.
+ */
+class TextTable
+{
+  public:
+    explicit TextTable(std::vector<std::string> header);
+
+    void addRow(std::vector<std::string> row);
+    /** Render with aligned columns. */
+    std::string str() const;
+
+  private:
+    std::vector<std::string> header_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+/** Format a double with @p digits significant decimals. */
+std::string fmtDouble(double v, int digits = 3);
+
+} // namespace flexi
+
+#endif // FLEXI_COMMON_STATS_HH

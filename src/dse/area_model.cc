@@ -1,0 +1,273 @@
+#include "area_model.hh"
+
+#include <cmath>
+
+#include "common/logging.hh"
+#include "tech/cell_library.hh"
+#include "tech/technology.hh"
+
+namespace flexi
+{
+
+namespace
+{
+
+double
+cellArea(CellType t)
+{
+    return cellInfo(t).nand2Area;
+}
+
+const double A_INV = cellArea(CellType::INV_X1);
+const double A_BUF = cellArea(CellType::BUF_X1);
+const double A_BUF2 = cellArea(CellType::BUF_X2);
+const double A_NAND = cellArea(CellType::NAND2);
+const double A_NAND3 = cellArea(CellType::NAND3);
+const double A_XOR = cellArea(CellType::XOR2);
+const double A_MUX = cellArea(CellType::MUX2);
+const double A_DFF = cellArea(CellType::DFF_X1);
+
+/** Ripple-carry adder (2 XOR + 3 NAND per bit, Figure 3b). */
+double
+adderArea(unsigned w)
+{
+    return w * (2 * A_XOR + 3 * A_NAND);
+}
+
+/** Program counter: 7 flops + incrementer + branch mux + take gate. */
+double
+pcArea(bool branch_flags)
+{
+    double a = 7 * A_DFF;
+    a += A_INV + 6 * A_XOR + 5 * (A_NAND + A_INV);   // incrementer
+    a += 7 * A_MUX;                                  // branch mux
+    a += A_NAND + A_INV;                             // taken
+    if (branch_flags) {
+        // nzp evaluation: zero-detect NOR tree + 3-bit mask network.
+        a += 2 * A_NAND3 + 4 * A_NAND + 2 * A_INV;
+    }
+    return a;
+}
+
+/** Write-port decode: one-hot AND tree per word. */
+double
+writeDecodeArea(unsigned words)
+{
+    return words * (A_NAND3 + A_INV) + 3 * A_INV;
+}
+
+} // namespace
+
+double
+AreaBreakdown::total() const
+{
+    return alu + decoder + memory + pc + acc + control + pads;
+}
+
+double
+memoryArea(unsigned words, unsigned width, unsigned read_ports)
+{
+    if (words < 2 || read_ports < 1)
+        fatal("memoryArea: bad configuration");
+    // Word 0 is the input bus (no storage); word 1 is the output
+    // latch (stored).
+    double storage = (words - 1) * width * A_DFF;
+    double write_mux = (words - 1) * width * A_MUX;
+    double decode = writeDecodeArea(words) +
+                    (words - 1) * (A_NAND + A_INV);
+    // Each read port: a words:1 mux tree per bit plus address
+    // drivers and word-line wiring. The wiring overhead grows with
+    // the word count — "the cost of the access port increases with
+    // the number of data words" (Section 3.5), which is why the
+    // second port costs the 8-word FlexiCore4 array relatively more
+    // (+39 %) than FlexiCore8's 4-word array (+25 %).
+    double wiring = 1.0 + 0.10 * words;
+    double port = (words - 1) * width * A_MUX * wiring +
+                  std::log2(words) * A_BUF2 * 2.0;
+    return storage + write_mux + decode + read_ports * port;
+}
+
+AreaBreakdown
+areaOf(const DesignPoint &point)
+{
+    constexpr unsigned W = 4;
+    bool ls = point.operands == OperandModel::LoadStore;
+    const IsaFeatures &f = point.features;
+    unsigned words = f.doubleMemory ? 16 : 8;
+
+    AreaBreakdown a;
+
+    // ---- ALU ----
+    a.alu = adderArea(W);
+    a.alu += 3 * W * A_MUX;                 // base 4:1 output mux
+    unsigned extra_ops = 0;
+    if (f.coalescing) {
+        // Operand inverter (sub/swb), carry flop and carry-in mux.
+        a.alu += W * A_XOR + A_DFF + 2 * A_MUX + 2 * A_NAND;
+        ++extra_ops;
+    }
+    if (f.barrelShifter) {
+        // log2(W) mux stages plus arithmetic sign fill.
+        a.alu += 2 * W * A_MUX + 2 * A_MUX + A_NAND;
+        ++extra_ops;
+    }
+    if (f.multiplier) {
+        // W^2 partial products + (W-1) adder rows + half-select mux.
+        a.alu += W * W * (A_NAND + A_INV) + (W - 1) * adderArea(W) +
+                 W * A_MUX;
+        ++extra_ops;
+    }
+    if (f.exchange)
+        a.alu += 2 * A_NAND;                // write-path steering
+    // Wider result mux for the added function groups.
+    a.alu += extra_ops * W * A_MUX;
+
+    // ---- Decoder ----
+    a.decoder = 2 * A_INV + A_NAND3 + 2 * A_NAND;   // base (Fig. 2a)
+    if (f.coalescing || f.barrelShifter || f.exchange ||
+        f.subroutines) {
+        a.decoder += 4 * A_NAND + 2 * A_INV;
+    }
+    if (ls) {
+        // op5 decode: denser encoding needs a real decoder
+        // (Section 3.5 anticipates exactly this trade).
+        a.decoder += 7 * A_NAND3 + 4 * A_INV;
+    }
+
+    // ---- Data memory / register file ----
+    unsigned read_ports;
+    if (!ls) {
+        read_ports = 1;
+    } else {
+        // rd & rs read concurrently except on the multicycle
+        // machine, which serializes them (Section 6.2: the MC
+        // load-store machine drops the second port).
+        read_ports = point.uarch == MicroArch::MultiCycle ? 1 : 2;
+    }
+    a.memory = memoryArea(words, W, read_ports);
+
+    // ---- PC and branch ----
+    a.pc = pcArea(f.branchFlags || ls);
+
+    // ---- Accumulator / flags ----
+    if (!ls) {
+        a.acc = W * (A_DFF + A_MUX);
+    } else {
+        // No accumulator, but an architectural flags register.
+        a.acc = 3 * A_DFF + 2 * A_NAND3 + 2 * A_INV;
+    }
+
+    // ---- Sequencing control ----
+    if (f.subroutines)
+        a.control += 8 * A_DFF;    // "at the cost of 8 flip-flops"
+    switch (point.uarch) {
+      case MicroArch::SingleCycle:
+        if (point.bus == BusWidth::Narrow8 &&
+            (ls || true /* 2-byte br/call */)) {
+            // Second-fetch-beat flag (the FlexiCore8-style flop).
+            a.control += A_DFF + 2 * A_NAND;
+        }
+        break;
+      case MicroArch::Pipelined2: {
+        // Decoded-control register + valid bit + flush gate.
+        unsigned ctrl_bits = ls ? 12 : 8;
+        a.control += ctrl_bits * A_DFF + A_DFF + 3 * A_NAND;
+        break;
+      }
+      case MicroArch::MultiCycle:
+        // State flops plus one control word per execution state —
+        // on the accumulator machine this buys nothing back, making
+        // it the largest accumulator design (Sections 3.4, 6.2).
+        a.control += 3 * A_DFF + 32 * A_NAND + 8 * A_INV +
+                     (ls ? 12 : 10) * A_MUX;
+        break;
+    }
+
+    // ---- Pad ring buffers (as in the structural netlists) ----
+    // A wide program bus means 16 instruction pins whenever the ISA
+    // has two-byte instructions (all of LoadStore4; ExtAcc4's
+    // branch/call) — Section 6.3's IO-count argument.
+    unsigned outputs = 7 + W;
+    bool has_two_byte = ls || !(f == IsaFeatures::none());
+    unsigned instr_pins =
+        (point.bus == BusWidth::Narrow8 || !has_two_byte) ? 8 : 16;
+    unsigned inputs = instr_pins + W;
+    a.pads = outputs * A_BUF2 + inputs * A_BUF;
+
+    return a;
+}
+
+double
+baseCoreArea()
+{
+    DesignPoint base;
+    base.operands = OperandModel::Accumulator;
+    base.uarch = MicroArch::SingleCycle;
+    base.bus = BusWidth::Wide;
+    base.features = IsaFeatures::none();
+    return areaOf(base).total();
+}
+
+unsigned
+cellCountOf(const DesignPoint &point)
+{
+    // First-order: cells average ~2.5 NAND2 each in this library
+    // (the FlexiCore4 netlist: 228 cells / 570 NAND2-eq).
+    return static_cast<unsigned>(areaOf(point).total() / 2.5);
+}
+
+double
+critPathUnitsOf(const DesignPoint &point)
+{
+    bool ls = point.operands == OperandModel::LoadStore;
+    const IsaFeatures &f = point.features;
+
+    // Execute path: operand mux/regfile read -> ALU (carry chain)
+    // -> result mux -> writeback mux -> DFF. Matches the structural
+    // FlexiCore4 netlist's 27.4 units for the base point.
+    double operand_read = ls ? 3 * 1.8 + 1.0 : 3 * 1.8;   // mux tree
+    double alu = 4 * 2.4 + 1.2;                  // carry chain + sum
+    double result_mux = 2 * 1.8;
+    if (f.coalescing)
+        result_mux += 0.6;                       // carry-in mux
+    if (f.barrelShifter || f.multiplier)
+        result_mux += 1.8;                       // wider result mux
+    double writeback = 1.8 + 2.8;                // hold mux + DFF
+    double decode = 2.0 + (ls ? 1.5 : 0.0);
+    double execute = decode + operand_read + alu + result_mux +
+                     writeback;
+
+    // Fetch path (program memory access + PC increment) — hidden by
+    // pipelining, serialized in the multicycle machine.
+    double fetch = 9.0;
+
+    switch (point.uarch) {
+      case MicroArch::SingleCycle:
+        return fetch + execute - 4.0;   // fetch overlaps decode
+      case MicroArch::Pipelined2:
+        return std::max(fetch + 2.0, execute);
+      case MicroArch::MultiCycle:
+        return std::max(fetch + 2.0, execute - 2.0);
+    }
+    panic("critPathUnitsOf: bad uarch");
+}
+
+double
+fmaxOf(const DesignPoint &point)
+{
+    Technology tech;
+    return 1.0 / (critPathUnitsOf(point) * tech.unitDelay(kVddNominal));
+}
+
+double
+staticPowerOf(const DesignPoint &point)
+{
+    // Same power density as the fabricated FlexiCore4 wafer:
+    // current scales with area (resistive pull-ups).
+    Technology tech;
+    constexpr double kUaPerNand2 = 1033.0 / 570.0;   // netlist calib
+    double ref_ua = areaOf(point).total() * kUaPerNand2;
+    return tech.staticPower(ref_ua, kVddNominal);
+}
+
+} // namespace flexi

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Analytical area / power / timing model for DSE design points.
+ *
+ * The model composes the same structures the FlexiCore4 netlist
+ * generator builds (ripple adder, mux trees, DFF banks), priced with
+ * the 13-cell library's NAND2-equivalent areas, so the base
+ * accumulator single-cycle point reproduces the structural netlist's
+ * area; extensions and alternative microarchitectures then add or
+ * remove components. Calibration is asserted in tests/test_dse.cc.
+ */
+
+#ifndef FLEXI_DSE_AREA_MODEL_HH
+#define FLEXI_DSE_AREA_MODEL_HH
+
+#include "dse/design_point.hh"
+
+namespace flexi
+{
+
+/** Per-module area rollup (NAND2 equivalents). */
+struct AreaBreakdown
+{
+    double alu = 0.0;
+    double decoder = 0.0;
+    double memory = 0.0;
+    double pc = 0.0;
+    double acc = 0.0;      ///< accumulator (acc) / flags (ls)
+    double control = 0.0;  ///< pipeline / multicycle / return state
+    double pads = 0.0;
+
+    double total() const;
+};
+
+/** Area breakdown of a design point. */
+AreaBreakdown areaOf(const DesignPoint &point);
+
+/** Area of the base FlexiCore4 point (for normalization). */
+double baseCoreArea();
+
+/** Cell count estimate of a design point. */
+unsigned cellCountOf(const DesignPoint &point);
+
+/**
+ * Area of the data memory with @p read_ports ports; exposes the
+ * second-port cost the paper quantifies (+39 % on FlexiCore4's
+ * 8-word memory, +25 % on FlexiCore8's 4-word memory, Section 3.5).
+ */
+double memoryArea(unsigned words, unsigned width,
+                  unsigned read_ports);
+
+/**
+ * Critical-path length of a design point in unit gate delays; with
+ * the technology delay model this gives the point's SP&R f_max
+ * (Section 6.2: "the cores ... operate at their SP&R f_max").
+ */
+double critPathUnitsOf(const DesignPoint &point);
+
+/** f_max in Hz at the nominal 4.5 V supply. */
+double fmaxOf(const DesignPoint &point);
+
+/** Static power (W) at 4.5 V, scaled from area like the technology's
+ *  resistive pull-up logic (>99 % static). */
+double staticPowerOf(const DesignPoint &point);
+
+} // namespace flexi
+
+#endif // FLEXI_DSE_AREA_MODEL_HH

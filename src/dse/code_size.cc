@@ -1,0 +1,125 @@
+#include "code_size.hh"
+
+#include <algorithm>
+#include <string>
+
+#include "assembler/assembler.hh"
+#include "common/logging.hh"
+
+namespace flexi
+{
+
+namespace
+{
+
+unsigned
+countOccurrences(const std::string &haystack, const std::string &needle)
+{
+    unsigned n = 0;
+    size_t pos = 0;
+    while ((pos = haystack.find(needle, pos)) != std::string::npos) {
+        ++n;
+        pos += needle.size();
+    }
+    return n;
+}
+
+unsigned
+countAdjacentMovePairs(const std::string &src)
+{
+    // "load rX\nstore rY" back-to-back — the shuffle xch collapses.
+    unsigned n = 0;
+    size_t pos = 0;
+    while ((pos = src.find("load r", pos)) != std::string::npos) {
+        size_t eol = src.find('\n', pos);
+        if (eol != std::string::npos &&
+            src.compare(eol + 1, 7, "store r") == 0)
+            ++n;
+        pos += 6;
+    }
+    return n;
+}
+
+} // namespace
+
+CodeSize
+measuredCodeSize(KernelId id, IsaKind isa)
+{
+    Program p = assemble(isa, kernelSource(id, isa));
+    return {p.staticInstructions(), p.codeSizeBits()};
+}
+
+IdiomStats
+analyzeBaseKernel(KernelId id)
+{
+    std::string src = kernelSource(id, IsaKind::FlexiCore4);
+    IdiomStats s;
+    s.ubrs = countOccurrences(src, "nandi 0\nbr ");
+    s.halveBlocks = countOccurrences(src, "_s3:");
+    s.compares = countOccurrences(src, "_ahi:");
+    s.negates = countOccurrences(src, "nandi 0xF\naddi 1");
+    s.zeroTests = countOccurrences(src, "_nz:");
+    s.movePairs = countAdjacentMovePairs(src);
+    s.sharedDispatch = countOccurrences(src, "ret0:");
+    s.hasMulLoop = id == KernelId::Calculator;
+    return s;
+}
+
+CodeSize
+estimatedCodeSize(KernelId id, const IsaFeatures &f)
+{
+    CodeSize base = measuredCodeSize(id, IsaKind::FlexiCore4);
+    IdiomStats s = analyzeBaseKernel(id);
+
+    // Per-idiom savings (static instructions). Each HALVE block is
+    // ~28 instructions replaced by one lsri; each full-range compare
+    // (16 instructions) becomes sub + carry materialization (~3);
+    // negate pairs inside compares must not be double-counted.
+    double saved = 0.0;
+    unsigned ubrs = s.ubrs;
+    if (f.barrelShifter) {
+        saved += s.halveBlocks * 27.0;
+        ubrs -= std::min(ubrs, s.halveBlocks * 6);   // their UBRs
+        saved += s.sharedDispatch * 10.0;            // dispatch gone
+    }
+    if (f.coalescing) {
+        saved += s.compares * 13.0;
+        unsigned free_negates =
+            s.negates > 2 * s.compares ? s.negates - 2 * s.compares
+                                       : 0;
+        saved += free_negates * 2.0;
+    }
+    if (f.branchFlags) {
+        saved += ubrs * 1.0;           // drop the nandi of each UBR
+        saved += s.zeroTests * 3.0;    // br.z replaces the dance
+    }
+    if (f.multiplier && s.hasMulLoop)
+        saved += 47.0;                 // shift-and-add loop -> mul
+    if (f.exchange)
+        saved += s.movePairs * 1.0;
+    if (f.subroutines && !f.barrelShifter)
+        saved += s.sharedDispatch * 6.0;
+    // Doubled data memory leaves code size unchanged (Figure 9).
+
+    double est = std::max(4.0, static_cast<double>(base.instructions)
+                                   - saved);
+    CodeSize out;
+    out.instructions = static_cast<size_t>(est + 0.5);
+    out.bits = out.instructions * 8;
+    return out;
+}
+
+double
+relativeSuiteCodeSize(const IsaFeatures &f)
+{
+    size_t base_total = 0, est_total = 0;
+    for (KernelId id : allKernels()) {
+        base_total += measuredCodeSize(id, IsaKind::FlexiCore4)
+                          .instructions;
+        est_total += estimatedCodeSize(id, f).instructions;
+    }
+    return base_total
+        ? static_cast<double>(est_total) / base_total : 1.0;
+}
+
+} // namespace flexi

@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Code-size measurement and per-extension estimation (Figs 9/10/12).
+ *
+ * Two mechanisms:
+ *  - *measured* sizes: assemble the real kernel sources for the
+ *    base, revised-accumulator and load-store ISAs;
+ *  - *estimated* sizes for individual ISA extensions: static idiom
+ *    analysis of the base sources (how many unconditional-branch
+ *    pairs, HALVE blocks, full-range compares, negates, ... they
+ *    contain) priced with the per-idiom savings each extension
+ *    delivers. First-order, but it is exactly the attribution the
+ *    paper's Figure 10 visualizes.
+ */
+
+#ifndef FLEXI_DSE_CODE_SIZE_HH
+#define FLEXI_DSE_CODE_SIZE_HH
+
+#include <cstddef>
+
+#include "dse/design_point.hh"
+#include "kernels/kernels.hh"
+
+namespace flexi
+{
+
+/** Static code size of one program. */
+struct CodeSize
+{
+    size_t instructions = 0;
+    size_t bits = 0;
+};
+
+/** Assemble the real source of @p id for @p isa and measure it. */
+CodeSize measuredCodeSize(KernelId id, IsaKind isa);
+
+/** Idiom census of a base-ISA kernel (inputs to the estimator). */
+struct IdiomStats
+{
+    unsigned ubrs = 0;          ///< unconditional-branch idioms
+    unsigned halveBlocks = 0;   ///< Listing-1-style shift dances
+    unsigned compares = 0;      ///< full-range unsigned compares
+    unsigned negates = 0;       ///< complement+increment pairs
+    unsigned zeroTests = 0;     ///< two-branch zero tests
+    unsigned movePairs = 0;     ///< adjacent load/store shuffles
+    unsigned sharedDispatch = 0;///< selector-register subroutines
+    bool hasMulLoop = false;    ///< software multiply loop
+};
+
+/** Count idioms in the base FlexiCore4 source of @p id. */
+IdiomStats analyzeBaseKernel(KernelId id);
+
+/**
+ * Estimated static instruction count of @p id on an accumulator
+ * core with feature set @p f (base encoding widths).
+ */
+CodeSize estimatedCodeSize(KernelId id, const IsaFeatures &f);
+
+/**
+ * Suite-aggregate code size (summed instructions over all seven
+ * kernels) relative to the base ISA — the Figure 9 code-size bars.
+ */
+double relativeSuiteCodeSize(const IsaFeatures &f);
+
+} // namespace flexi
+
+#endif // FLEXI_DSE_CODE_SIZE_HH

@@ -1,0 +1,106 @@
+#include "design_point.hh"
+
+#include "common/logging.hh"
+
+namespace flexi
+{
+
+IsaFeatures
+IsaFeatures::revised()
+{
+    IsaFeatures f;
+    f.coalescing = true;
+    f.barrelShifter = true;
+    f.branchFlags = true;
+    f.exchange = true;
+    f.subroutines = true;
+    return f;
+}
+
+std::string
+IsaFeatures::tag() const
+{
+    std::string s;
+    auto add = [&](bool on, const char *name) {
+        if (!on)
+            return;
+        if (!s.empty())
+            s += '+';
+        s += name;
+    };
+    add(coalescing, "adc");
+    add(barrelShifter, "shift");
+    add(branchFlags, "flags");
+    add(multiplier, "mul");
+    add(exchange, "xch");
+    add(subroutines, "call");
+    add(doubleMemory, "2xmem");
+    return s.empty() ? "base" : s;
+}
+
+const char *
+operandModelName(OperandModel model)
+{
+    switch (model) {
+      case OperandModel::Accumulator: return "Acc";
+      case OperandModel::LoadStore: return "LS";
+    }
+    panic("operandModelName: bad model");
+}
+
+IsaKind
+DesignPoint::isa() const
+{
+    return operands == OperandModel::Accumulator ? IsaKind::ExtAcc4
+                                                 : IsaKind::LoadStore4;
+}
+
+TimingConfig
+DesignPoint::timing() const
+{
+    return {isa(), uarch, bus};
+}
+
+std::string
+DesignPoint::name() const
+{
+    std::string s = operandModelName(operands);
+    switch (uarch) {
+      case MicroArch::SingleCycle: s += " SC"; break;
+      case MicroArch::Pipelined2: s += " P"; break;
+      case MicroArch::MultiCycle: s += " MC"; break;
+    }
+    if (bus == BusWidth::Narrow8)
+        s += " (8b bus)";
+    return s;
+}
+
+bool
+DesignPoint::feasible() const
+{
+    return !(operands == OperandModel::LoadStore &&
+             bus == BusWidth::Narrow8 &&
+             uarch != MicroArch::MultiCycle);
+}
+
+std::array<DesignPoint, 6>
+dseCores()
+{
+    std::array<DesignPoint, 6> cores;
+    size_t i = 0;
+    for (OperandModel om :
+         {OperandModel::Accumulator, OperandModel::LoadStore}) {
+        for (MicroArch ua : {MicroArch::SingleCycle,
+                             MicroArch::Pipelined2,
+                             MicroArch::MultiCycle}) {
+            cores[i].operands = om;
+            cores[i].uarch = ua;
+            cores[i].bus = BusWidth::Wide;
+            cores[i].features = IsaFeatures::revised();
+            ++i;
+        }
+    }
+    return cores;
+}
+
+} // namespace flexi

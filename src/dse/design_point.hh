@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Design-space descriptors (Section 6).
+ *
+ * The paper explores two axes:
+ *  - ISA extensions over the base FlexiCore4 accumulator ISA
+ *    (Figure 9): data-coalescing adc/swb, a barrel shifter
+ *    (right shifts), nzp branch condition flags, a hardware
+ *    multiplier, an accumulator-exchange instruction, subroutine
+ *    call/ret with a return register, and doubled data memory;
+ *  - operand model x microarchitecture x program-bus width
+ *    (Figures 11-13): {accumulator, load-store} x {single-cycle,
+ *    2-stage pipelined, multicycle} x {wide, 8-bit} bus.
+ */
+
+#ifndef FLEXI_DSE_DESIGN_POINT_HH
+#define FLEXI_DSE_DESIGN_POINT_HH
+
+#include <array>
+#include <string>
+
+#include "isa/isa.hh"
+#include "sim/timing.hh"
+
+namespace flexi
+{
+
+/** ISA extensions considered in Section 6.1 / Figure 9. */
+struct IsaFeatures
+{
+    bool coalescing = false;     ///< adc / swb (and sub)
+    bool barrelShifter = false;  ///< asr(i) / lsr(i)
+    bool branchFlags = false;    ///< nzp branch conditions
+    bool multiplier = false;     ///< 4x4 hardware multiply
+    bool exchange = false;       ///< xch (accumulator exchange)
+    bool subroutines = false;    ///< call / ret + return register
+    bool doubleMemory = false;   ///< 16-word data memory
+
+    bool operator==(const IsaFeatures &other) const = default;
+
+    /** The paper's final revised op set (Section 6.1): everything
+     *  except the multiplier and the doubled register file. */
+    static IsaFeatures revised();
+    static IsaFeatures none() { return {}; }
+
+    /** Short tag, e.g. "adc+shift+flags". */
+    std::string tag() const;
+};
+
+/** Operand model (Section 6.2). */
+enum class OperandModel : uint8_t
+{
+    Accumulator,
+    LoadStore,
+};
+
+const char *operandModelName(OperandModel model);
+
+/** One point in the Section 6.2 design space. */
+struct DesignPoint
+{
+    OperandModel operands = OperandModel::Accumulator;
+    MicroArch uarch = MicroArch::SingleCycle;
+    BusWidth bus = BusWidth::Wide;
+    IsaFeatures features = IsaFeatures::revised();
+
+    /** The ISA this point executes (ExtAcc4 or LoadStore4). */
+    IsaKind isa() const;
+    /** Timing configuration for the simulator. */
+    TimingConfig timing() const;
+    /** "Acc SC", "LS P", ... as in Figure 11's legend. */
+    std::string name() const;
+    /** Points impossible under the bus constraint (Section 6.2). */
+    bool feasible() const;
+};
+
+/** The six DSE cores of Figures 11/12 (wide bus). */
+std::array<DesignPoint, 6> dseCores();
+
+} // namespace flexi
+
+#endif // FLEXI_DSE_DESIGN_POINT_HH

@@ -1,0 +1,59 @@
+#include "perf_model.hh"
+
+#include "common/logging.hh"
+#include "dse/area_model.hh"
+#include "kernels/runner.hh"
+
+namespace flexi
+{
+
+namespace
+{
+
+KernelPerfEnergy
+evalWith(KernelId id, const TimingConfig &cfg, double fmax,
+         double power_w, size_t work_units, uint64_t seed)
+{
+    KernelRun run = runKernel(id, cfg, work_units, seed);
+    if (run.stop == StopReason::Budget)
+        fatal("%s did not finish its %zu work units", kernelName(id),
+              work_units);
+    KernelPerfEnergy out;
+    out.cycles = run.stats.cycles;
+    out.instructions = run.stats.instructions;
+    out.fmaxHz = fmax;
+    out.timeS = static_cast<double>(run.stats.cycles) / fmax;
+    out.powerW = power_w;
+    out.energyJ = out.powerW * out.timeS;
+    return out;
+}
+
+} // namespace
+
+KernelPerfEnergy
+evalDsePoint(KernelId id, const DesignPoint &point, size_t work_units,
+             uint64_t seed)
+{
+    if (!point.feasible())
+        fatal("design point %s is infeasible (Section 6.2)",
+              point.name().c_str());
+    return evalWith(id, point.timing(), fmaxOf(point),
+                    staticPowerOf(point), work_units, seed);
+}
+
+KernelPerfEnergy
+evalFlexiCore4Baseline(KernelId id, size_t work_units, uint64_t seed)
+{
+    DesignPoint base;
+    base.operands = OperandModel::Accumulator;
+    base.uarch = MicroArch::SingleCycle;
+    base.bus = BusWidth::Wide;
+    base.features = IsaFeatures::none();
+
+    TimingConfig cfg{IsaKind::FlexiCore4, MicroArch::SingleCycle,
+                     BusWidth::Wide};
+    return evalWith(id, cfg, fmaxOf(base), staticPowerOf(base),
+                    work_units, seed);
+}
+
+} // namespace flexi

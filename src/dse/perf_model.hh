@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Performance / energy evaluation of DSE design points (Figures 11
+ * and 13).
+ *
+ * Each point runs the real kernel binaries on the cycle-accurate
+ * simulator at the point's own SP&R f_max (Section 6.2); energy is
+ * static power (area-proportional in this technology) times runtime.
+ */
+
+#ifndef FLEXI_DSE_PERF_MODEL_HH
+#define FLEXI_DSE_PERF_MODEL_HH
+
+#include <cstdint>
+
+#include "dse/design_point.hh"
+#include "kernels/kernels.hh"
+
+namespace flexi
+{
+
+/** Measured execution of one kernel on one core. */
+struct KernelPerfEnergy
+{
+    uint64_t cycles = 0;
+    uint64_t instructions = 0;
+    double fmaxHz = 0.0;
+    double timeS = 0.0;
+    double powerW = 0.0;
+    double energyJ = 0.0;
+};
+
+/** Run @p work_units of kernel @p id on DSE point @p point. */
+KernelPerfEnergy evalDsePoint(KernelId id, const DesignPoint &point,
+                              size_t work_units, uint64_t seed);
+
+/** Same workload on the fabricated FlexiCore4 baseline (at its own
+ *  SP&R f_max, for a like-for-like Figure 11 normalization). */
+KernelPerfEnergy evalFlexiCore4Baseline(KernelId id,
+                                        size_t work_units,
+                                        uint64_t seed);
+
+} // namespace flexi
+
+#endif // FLEXI_DSE_PERF_MODEL_HH

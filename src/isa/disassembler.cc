@@ -1,0 +1,90 @@
+#include "disassembler.hh"
+
+#include <sstream>
+
+#include "common/logging.hh"
+#include "isa/encoding.hh"
+
+namespace flexi
+{
+
+namespace
+{
+
+std::string
+condSuffix(uint8_t cond)
+{
+    if (cond == kCondN || cond == 0)
+        return "";      // base-ISA branch: plain "br"
+    std::string s = ".";
+    if (cond & kCondN)
+        s += 'n';
+    if (cond & kCondZ)
+        s += 'z';
+    if (cond & kCondP)
+        s += 'p';
+    return s;
+}
+
+} // namespace
+
+std::string
+disassemble(IsaKind isa, const Instruction &inst)
+{
+    std::ostringstream out;
+    if (!inst.valid())
+        return "<invalid>";
+
+    bool load_store = isa == IsaKind::LoadStore4;
+
+    switch (inst.op) {
+      case Op::Br:
+        out << "br" << condSuffix(inst.cond) << " "
+            << unsigned{inst.target};
+        return out.str();
+      case Op::Call:
+        out << "call " << unsigned{inst.target};
+        return out.str();
+      case Op::Ret:
+        return "ret";
+      case Op::Ldb:
+        out << "ldb " << unsigned{inst.operand};
+        return out.str();
+      default:
+        break;
+    }
+
+    out << opName(inst.op);
+    if (inst.mode == Mode::Imm)
+        out << "i";
+    if (load_store) {
+        out << " r" << unsigned{inst.rd};
+        if (inst.mode == Mode::Mem)
+            out << ", r" << unsigned{inst.operand};
+        else if (inst.mode == Mode::Imm)
+            out << ", " << unsigned{inst.operand};
+        return out.str();
+    }
+    if (inst.mode == Mode::Mem)
+        out << " r" << unsigned{inst.operand};
+    else if (inst.mode == Mode::Imm)
+        out << " " << unsigned{inst.operand};
+    return out.str();
+}
+
+std::string
+disassembleImage(IsaKind isa, const std::vector<uint8_t> &image)
+{
+    std::ostringstream out;
+    unsigned step_words = isa == IsaKind::LoadStore4 ? 2 : 1;
+    unsigned n = static_cast<unsigned>(image.size()) / step_words;
+    unsigned pc = 0;
+    while (pc < n) {
+        DecodeResult dec = decodeAt(isa, image, pc);
+        out << pc << ": " << disassemble(isa, dec.inst) << '\n';
+        pc += isa == IsaKind::LoadStore4 ? 1 : dec.bytes;
+    }
+    return out.str();
+}
+
+} // namespace flexi

@@ -1,0 +1,32 @@
+/**
+ * @file
+ * Textual disassembly of decoded instructions.
+ */
+
+#ifndef FLEXI_ISA_DISASSEMBLER_HH
+#define FLEXI_ISA_DISASSEMBLER_HH
+
+#include <string>
+#include <vector>
+
+#include "isa/isa.hh"
+
+namespace flexi
+{
+
+/**
+ * Render one instruction in the assembly syntax accepted by the
+ * assembler (so disassemble -> reassemble round-trips).
+ */
+std::string disassemble(IsaKind isa, const Instruction &inst);
+
+/**
+ * Disassemble a whole program image, one line per instruction,
+ * prefixed with the page-relative address.
+ */
+std::string disassembleImage(IsaKind isa,
+                             const std::vector<uint8_t> &image);
+
+} // namespace flexi
+
+#endif // FLEXI_ISA_DISASSEMBLER_HH

@@ -1,0 +1,56 @@
+/**
+ * @file
+ * ISA-dispatching encode/decode entry points.
+ */
+
+#include "encoding.hh"
+
+#include "common/logging.hh"
+
+namespace flexi
+{
+
+std::vector<uint8_t>
+encode(IsaKind isa, const Instruction &inst)
+{
+    switch (isa) {
+      case IsaKind::FlexiCore4:
+        return {encodeFc4(inst)};
+      case IsaKind::FlexiCore8:
+        return encodeFc8(inst);
+      case IsaKind::ExtAcc4:
+        return encodeExt(inst);
+      case IsaKind::LoadStore4: {
+        uint16_t w = encodeLs(inst);
+        return {static_cast<uint8_t>(w & 0xFF),
+                static_cast<uint8_t>(w >> 8)};
+      }
+    }
+    panic("encode: bad IsaKind");
+}
+
+DecodeResult
+decodeAt(IsaKind isa, const std::vector<uint8_t> &mem, unsigned pc)
+{
+    auto byteAt = [&](size_t idx) -> uint8_t {
+        return idx < mem.size() ? mem[idx] : 0;
+    };
+
+    switch (isa) {
+      case IsaKind::FlexiCore4:
+        return decodeFc4(byteAt(pc));
+      case IsaKind::FlexiCore8:
+        return decodeFc8(byteAt(pc), byteAt(pc + 1));
+      case IsaKind::ExtAcc4:
+        return decodeExt(byteAt(pc), byteAt(pc + 1));
+      case IsaKind::LoadStore4: {
+        size_t base = static_cast<size_t>(pc) * 2;
+        uint16_t w = static_cast<uint16_t>(
+            byteAt(base) | (byteAt(base + 1) << 8));
+        return decodeLs(w);
+      }
+    }
+    panic("decodeAt: bad IsaKind");
+}
+
+} // namespace flexi

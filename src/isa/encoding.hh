@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Binary instruction encoders / decoders for the four ISAs.
+ *
+ * Encodings for FlexiCore4 / FlexiCore8 follow Figure 2 of the paper
+ * exactly; the ExtAcc4 and LoadStore4 encodings are ours (the paper
+ * specifies the op set but not the bit layout) and are documented in
+ * DESIGN.md Section 3 and in the comments below.
+ */
+
+#ifndef FLEXI_ISA_ENCODING_HH
+#define FLEXI_ISA_ENCODING_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "isa/isa.hh"
+
+namespace flexi
+{
+
+/**
+ * @name FlexiCore4 (Figure 2a)
+ * @{
+ *   1ttttttt             br t       (taken iff ACC[3])
+ *   01 op imm4           addi/nandi/xori   (op 00/01/10)
+ *   00 op 0 src3         add/nand/xor      (op 00/01/10)
+ *   00 11 0 addr3        load
+ *   00 11 1 addr3        store
+ * The op field (bits 5:4) is wired straight to the ALU output mux and
+ * bit 6 to the operand mux, so 01 11 xxxx (I-form op=11) is reserved.
+ * @}
+ */
+uint8_t encodeFc4(const Instruction &inst);
+DecodeResult decodeFc4(uint8_t byte);
+
+/**
+ * @name FlexiCore8 (Figure 2b)
+ * Same layout with a 2-bit src (4 words) and bits 3:2 = 00 in M/T
+ * forms; I-form immediates are sign-extended at execution. The byte
+ * 0b00001000 is the LOAD BYTE prefix; the following program byte is
+ * the 8-bit immediate (a two-byte, two-cycle instruction).
+ */
+std::vector<uint8_t> encodeFc8(const Instruction &inst);
+DecodeResult decodeFc8(uint8_t b0, uint8_t b1);
+
+/**
+ * @name ExtAcc4 (DSE accumulator ISA, our encoding)
+ * @{
+ *   00 ooo aaa    M-form: add adc sub swb and or xor xch   MEM[aaa]
+ *   01 ooo iii    I-form: addi adci andi ori xori asri lsri li
+ *   10 sss aaa    T-form: load store neg ret asr lsr (sss 0-5)
+ *   110 nzp 00 , 0ttttttt   br.nzp t   (two bytes)
+ *   11100000   , 0ttttttt   call t     (two bytes)
+ * @}
+ */
+std::vector<uint8_t> encodeExt(const Instruction &inst);
+DecodeResult decodeExt(uint8_t b0, uint8_t b1);
+
+/**
+ * @name LoadStore4 (DSE load-store ISA, our encoding, 16-bit)
+ * @{
+ *   [15:11] op5  [10:8] rd  [7:5] rs  [4:1] imm4
+ *   Br:   op5=19, [10:8]=nzp, [6:0]=target
+ *   Call: op5=20, [6:0]=target;  Ret: op5=21
+ * @}
+ */
+uint16_t encodeLs(const Instruction &inst);
+DecodeResult decodeLs(uint16_t word);
+
+/** Encode for any ISA; result is 1 or 2 bytes (LS: little-endian). */
+std::vector<uint8_t> encode(IsaKind isa, const Instruction &inst);
+
+/**
+ * Decode the instruction at byte offset @p pc of @p mem (for
+ * LoadStore4, @p pc is a 16-bit word index). Out-of-range second
+ * bytes read as zero, matching a floating bus.
+ */
+DecodeResult decodeAt(IsaKind isa, const std::vector<uint8_t> &mem,
+                      unsigned pc);
+
+} // namespace flexi
+
+#endif // FLEXI_ISA_ENCODING_HH

@@ -1,0 +1,147 @@
+/**
+ * @file
+ * ExtAcc4 (DSE accumulator) instruction encoding.
+ *
+ * The paper's Section 6.1 fixes the op set but not the binary layout;
+ * this layout keeps single-byte instructions for everything except
+ * branch and call (which carry a target byte), preserving the
+ * "single-operand instructions require fewer IOs to fetch" property
+ * that makes the accumulator cores preferable under an 8-bit program
+ * bus (Section 6.3).
+ */
+
+#include <cstdint>
+
+#include "common/bitops.hh"
+#include "common/logging.hh"
+#include "isa/encoding.hh"
+
+namespace flexi
+{
+
+namespace
+{
+
+constexpr Op kMOps[8] = {Op::Add, Op::Adc, Op::Sub, Op::Swb,
+                         Op::And, Op::Or, Op::Xor, Op::Xch};
+constexpr Op kIOps[8] = {Op::Add, Op::Adc, Op::And, Op::Or,
+                         Op::Xor, Op::Asr, Op::Lsr, Op::Li};
+constexpr Op kTOps[8] = {Op::Load, Op::Store, Op::Neg, Op::Ret,
+                         Op::Asr, Op::Lsr, Op::Invalid, Op::Invalid};
+
+int
+findOp(const Op *table, Op op)
+{
+    for (int i = 0; i < 8; ++i)
+        if (table[i] == op)
+            return i;
+    return -1;
+}
+
+} // namespace
+
+std::vector<uint8_t>
+encodeExt(const Instruction &inst)
+{
+    switch (inst.op) {
+      case Op::Br: {
+        uint8_t nzp = inst.cond ? inst.cond : kCondN;
+        if (inst.target >= kPageSize)
+            fatal("br target %u out of 7-bit range", inst.target);
+        return {static_cast<uint8_t>(0xC0 | (nzp << 2)), inst.target};
+      }
+      case Op::Call:
+        if (inst.target >= kPageSize)
+            fatal("call target %u out of 7-bit range", inst.target);
+        return {0xE0, inst.target};
+      case Op::Ret:
+        return {static_cast<uint8_t>(0x80 | (3 << 3))};
+      case Op::Neg:
+        return {static_cast<uint8_t>(0x80 | (2 << 3))};
+      case Op::Load:
+      case Op::Store: {
+        if (inst.operand > 7)
+            fatal("address %u out of range", inst.operand);
+        uint8_t sss = inst.op == Op::Load ? 0 : 1;
+        return {static_cast<uint8_t>(0x80 | (sss << 3) | inst.operand)};
+      }
+      default:
+        break;
+    }
+
+    if (inst.mode == Mode::Imm) {
+        int idx = findOp(kIOps, inst.op);
+        if (idx < 0)
+            fatal("ExtAcc4: no immediate form of '%s'",
+                  opName(inst.op));
+        if (inst.operand > 7)
+            fatal("immediate %u out of 3-bit range (0..7)",
+                  inst.operand);
+        return {static_cast<uint8_t>(
+            0x40 | (static_cast<uint8_t>(idx) << 3) | inst.operand)};
+    }
+
+    if (inst.op == Op::Asr || inst.op == Op::Lsr) {
+        // Register (shift-by-one) form lives in the T group.
+        uint8_t sss = inst.op == Op::Asr ? 4 : 5;
+        return {static_cast<uint8_t>(0x80 | (sss << 3))};
+    }
+
+    int idx = findOp(kMOps, inst.op);
+    if (idx < 0)
+        fatal("ExtAcc4 does not support '%s'", opName(inst.op));
+    if (inst.operand > 7)
+        fatal("memory address %u out of range", inst.operand);
+    return {static_cast<uint8_t>(
+        (static_cast<uint8_t>(idx) << 3) | inst.operand)};
+}
+
+DecodeResult
+decodeExt(uint8_t b0, uint8_t b1)
+{
+    Instruction inst;
+    inst.sizeBits = 8;
+
+    switch (bits(b0, 7, 6)) {
+      case 0: {   // M-form
+        inst.op = kMOps[bits(b0, 5, 3)];
+        inst.mode = Mode::Mem;
+        inst.operand = b0 & 0x07;
+        return {inst, 1};
+      }
+      case 1: {   // I-form
+        inst.op = kIOps[bits(b0, 5, 3)];
+        inst.mode = Mode::Imm;
+        inst.operand = b0 & 0x07;
+        return {inst, 1};
+      }
+      case 2: {   // T-form
+        // Hardware-faithful: the address field is a don't-care for
+        // the operand-less ops (neg/ret/asr/lsr) and sss 6/7 assert
+        // no write enables (an architected no-op).
+        unsigned sss = bits(b0, 5, 3);
+        Op op = kTOps[sss];
+        if (op == Op::Invalid)
+            return {inst, 1};
+        inst.op = op;
+        if (op == Op::Load || op == Op::Store) {
+            inst.mode = Mode::Mem;
+            inst.operand = b0 & 0x07;
+        }
+        return {inst, 1};
+      }
+      default: {  // branch / call group (bits 1:0 / 4:0 don't-care)
+        if (!bit(b0, 5)) {
+            inst.op = Op::Br;
+            inst.cond = bits(b0, 4, 2);
+        } else {
+            inst.op = Op::Call;
+        }
+        inst.target = b1 & 0x7F;   // bit 7 ignored by the 7-bit PC
+        inst.sizeBits = 16;
+        return {inst, 2};
+      }
+    }
+}
+
+} // namespace flexi

@@ -1,0 +1,108 @@
+/**
+ * @file
+ * FlexiCore4 instruction encoding (Figure 2a of the paper).
+ */
+
+#include <cstdint>
+
+#include "common/bitops.hh"
+#include "common/logging.hh"
+#include "isa/encoding.hh"
+
+namespace flexi
+{
+
+namespace
+{
+
+uint8_t
+aluOpField(Op op)
+{
+    switch (op) {
+      case Op::Add: return 0;
+      case Op::Nand: return 1;
+      case Op::Xor: return 2;
+      default:
+        panic("FlexiCore4: %s is not an ALU op", opName(op));
+    }
+}
+
+} // namespace
+
+uint8_t
+encodeFc4(const Instruction &inst)
+{
+    switch (inst.op) {
+      case Op::Br:
+        if (inst.target >= kPageSize)
+            fatal("br target %u out of 7-bit range", inst.target);
+        return 0x80 | inst.target;
+      case Op::Add:
+      case Op::Nand:
+      case Op::Xor:
+        if (inst.mode == Mode::Imm) {
+            if (inst.operand > 0xF)
+                fatal("immediate %u out of 4-bit range", inst.operand);
+            return 0x40 | (aluOpField(inst.op) << 4) | inst.operand;
+        }
+        if (inst.operand > 7)
+            fatal("memory address %u out of range", inst.operand);
+        return (aluOpField(inst.op) << 4) | inst.operand;
+      case Op::Load:
+        if (inst.operand > 7)
+            fatal("load address %u out of range", inst.operand);
+        return 0x30 | inst.operand;
+      case Op::Store:
+        if (inst.operand > 7)
+            fatal("store address %u out of range", inst.operand);
+        return 0x38 | inst.operand;
+      default:
+        fatal("FlexiCore4 does not support '%s'", opName(inst.op));
+    }
+}
+
+DecodeResult
+decodeFc4(uint8_t byte)
+{
+    // The decode is *total*: the hardware has no illegal-instruction
+    // trap, so every byte does something. Bits 5:4 drive the ALU
+    // output mux (00 add, 01 nand, 10 xor, 11 pass-operand), bit 6
+    // the operand mux, and the data-memory write-enable fires only on
+    // the exact store pattern (Section 3.3). This gives the reserved
+    // encodings well-defined side effects: 01 11 imm4 passes the
+    // immediate straight to ACC (decoded as the unofficial `li`
+    // alias), and M-form encodings with bit 3 set behave as if bit 3
+    // were clear (it is ignored by the operand path).
+    Instruction inst;
+    inst.sizeBits = 8;
+
+    if (bit(byte, 7)) {
+        inst.op = Op::Br;
+        inst.cond = kCondN;
+        inst.target = byte & 0x7F;
+        return {inst, 1};
+    }
+
+    unsigned op = bits(byte, 5, 4);
+    if (bit(byte, 6)) {
+        inst.mode = Mode::Imm;
+        inst.operand = byte & 0x0F;
+        inst.op = op == 0 ? Op::Add : op == 1 ? Op::Nand
+                : op == 2 ? Op::Xor : Op::Li;
+        return {inst, 1};
+    }
+
+    if (op == 3) {
+        inst.op = bit(byte, 3) ? Op::Store : Op::Load;
+        inst.mode = Mode::Mem;
+        inst.operand = byte & 0x07;
+        return {inst, 1};
+    }
+
+    inst.op = op == 0 ? Op::Add : op == 1 ? Op::Nand : Op::Xor;
+    inst.mode = Mode::Mem;
+    inst.operand = byte & 0x07;
+    return {inst, 1};
+}
+
+} // namespace flexi

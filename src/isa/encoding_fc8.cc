@@ -1,0 +1,119 @@
+/**
+ * @file
+ * FlexiCore8 instruction encoding (Figure 2b of the paper).
+ */
+
+#include <cstdint>
+
+#include "common/bitops.hh"
+#include "common/logging.hh"
+#include "isa/encoding.hh"
+
+namespace flexi
+{
+
+namespace
+{
+
+/** The LOAD BYTE prefix byte, 0b00001000 (Figure 2b). */
+constexpr uint8_t kLdbPrefix = 0x08;
+
+uint8_t
+aluOpField(Op op)
+{
+    switch (op) {
+      case Op::Add: return 0;
+      case Op::Nand: return 1;
+      case Op::Xor: return 2;
+      default:
+        panic("FlexiCore8: %s is not an ALU op", opName(op));
+    }
+}
+
+} // namespace
+
+std::vector<uint8_t>
+encodeFc8(const Instruction &inst)
+{
+    switch (inst.op) {
+      case Op::Br:
+        if (inst.target >= kPageSize)
+            fatal("br target %u out of 7-bit range", inst.target);
+        return {static_cast<uint8_t>(0x80 | inst.target)};
+      case Op::Ldb:
+        return {kLdbPrefix, inst.operand};
+      case Op::Add:
+      case Op::Nand:
+      case Op::Xor:
+        if (inst.mode == Mode::Imm) {
+            if (inst.operand > 0xF)
+                fatal("immediate %u out of 4-bit range", inst.operand);
+            return {static_cast<uint8_t>(
+                0x40 | (aluOpField(inst.op) << 4) | inst.operand)};
+        }
+        if (inst.operand > 3)
+            fatal("memory address %u out of range (4 words)",
+                  inst.operand);
+        return {static_cast<uint8_t>(
+            (aluOpField(inst.op) << 4) | inst.operand)};
+      case Op::Load:
+        if (inst.operand > 3)
+            fatal("load address %u out of range", inst.operand);
+        return {static_cast<uint8_t>(0x30 | inst.operand)};
+      case Op::Store:
+        if (inst.operand > 3)
+            fatal("store address %u out of range", inst.operand);
+        return {static_cast<uint8_t>(0x38 | inst.operand)};
+      default:
+        fatal("FlexiCore8 does not support '%s'", opName(inst.op));
+    }
+}
+
+DecodeResult
+decodeFc8(uint8_t b0, uint8_t b1)
+{
+    Instruction inst;
+    inst.sizeBits = 8;
+
+    if (bit(b0, 7)) {
+        inst.op = Op::Br;
+        inst.cond = kCondN;
+        inst.target = b0 & 0x7F;
+        return {inst, 1};
+    }
+
+    if (b0 == kLdbPrefix) {
+        inst.op = Op::Ldb;
+        inst.mode = Mode::Imm;
+        inst.operand = b1;
+        inst.sizeBits = 16;
+        return {inst, 2};
+    }
+
+    // As with FlexiCore4 the decode is total: bits 5:4 drive the ALU
+    // output mux, bit 6 the operand mux, bits 3:2 are ignored by the
+    // datapath (except for the exact LOAD BYTE prefix above), and
+    // 01 11 imm4 passes the sign-extended immediate to ACC (`li`).
+    unsigned op = bits(b0, 5, 4);
+    if (bit(b0, 6)) {
+        inst.mode = Mode::Imm;
+        inst.operand = b0 & 0x0F;
+        inst.op = op == 0 ? Op::Add : op == 1 ? Op::Nand
+                : op == 2 ? Op::Xor : Op::Li;
+        return {inst, 1};
+    }
+
+    if (op == 3) {
+        inst.op = bit(b0, 3) ? Op::Store : Op::Load;
+        inst.mode = Mode::Mem;
+        inst.operand = b0 & 0x03;
+        return {inst, 1};
+    }
+
+    inst.op = op == 0 ? Op::Add : op == 1 ? Op::Nand : Op::Xor;
+    inst.mode = Mode::Mem;
+    inst.operand = b0 & 0x03;
+    return {inst, 1};
+}
+
+} // namespace flexi

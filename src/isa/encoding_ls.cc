@@ -1,0 +1,131 @@
+/**
+ * @file
+ * LoadStore4 (DSE load-store) instruction encoding, 16-bit.
+ *
+ * Two-address machine over the 8-word data memory / register file:
+ * rd <- rd op (rs | imm4). Our layout (DESIGN.md Section 3):
+ * [15:11] op5, [10:8] rd, [7:5] rs, [4:1] imm4.
+ */
+
+#include <cstdint>
+
+#include "common/bitops.hh"
+#include "common/logging.hh"
+#include "isa/encoding.hh"
+
+namespace flexi
+{
+
+namespace
+{
+
+enum LsOp5 : uint16_t
+{
+    LS_ADD = 0, LS_ADC, LS_SUB, LS_SWB, LS_AND, LS_OR, LS_XOR,
+    LS_MOV, LS_NEG, LS_ASR, LS_LSR,
+    LS_ADDI, LS_ADCI, LS_ANDI, LS_ORI, LS_XORI, LS_MOVI,
+    LS_ASRI, LS_LSRI,
+    LS_BR, LS_CALL, LS_RET,
+    LS_COUNT,
+};
+
+struct OpMap { Op op; Mode mode; LsOp5 op5; };
+
+constexpr OpMap kMap[] = {
+    {Op::Add, Mode::Mem, LS_ADD},  {Op::Add, Mode::Imm, LS_ADDI},
+    {Op::Adc, Mode::Mem, LS_ADC},  {Op::Adc, Mode::Imm, LS_ADCI},
+    {Op::Sub, Mode::Mem, LS_SUB},
+    {Op::Swb, Mode::Mem, LS_SWB},
+    {Op::And, Mode::Mem, LS_AND},  {Op::And, Mode::Imm, LS_ANDI},
+    {Op::Or, Mode::Mem, LS_OR},    {Op::Or, Mode::Imm, LS_ORI},
+    {Op::Xor, Mode::Mem, LS_XOR},  {Op::Xor, Mode::Imm, LS_XORI},
+    {Op::Mov, Mode::Mem, LS_MOV},  {Op::Mov, Mode::Imm, LS_MOVI},
+    {Op::Neg, Mode::None, LS_NEG},
+    {Op::Asr, Mode::Mem, LS_ASR},  {Op::Asr, Mode::Imm, LS_ASRI},
+    {Op::Lsr, Mode::Mem, LS_LSR},  {Op::Lsr, Mode::Imm, LS_LSRI},
+};
+
+} // namespace
+
+uint16_t
+encodeLs(const Instruction &inst)
+{
+    auto pack = [](uint16_t op5, uint16_t rd, uint16_t rs,
+                   uint16_t imm) -> uint16_t {
+        return static_cast<uint16_t>(
+            (op5 << 11) | (rd << 8) | (rs << 5) | (imm << 1));
+    };
+
+    switch (inst.op) {
+      case Op::Br: {
+        uint16_t nzp = inst.cond ? inst.cond : kCondN;
+        if (inst.target >= kPageSize)
+            fatal("br target %u out of range", inst.target);
+        return static_cast<uint16_t>(
+            (LS_BR << 11) | (nzp << 8) | inst.target);
+      }
+      case Op::Call:
+        if (inst.target >= kPageSize)
+            fatal("call target %u out of range", inst.target);
+        return static_cast<uint16_t>((LS_CALL << 11) | inst.target);
+      case Op::Ret:
+        return static_cast<uint16_t>(LS_RET << 11);
+      default:
+        break;
+    }
+
+    if (inst.rd > 7)
+        fatal("register r%u out of range", inst.rd);
+    for (const auto &m : kMap) {
+        if (m.op != inst.op || m.mode != inst.mode)
+            continue;
+        if (inst.mode == Mode::Imm) {
+            if (inst.operand > 0xF)
+                fatal("immediate %u out of 4-bit range", inst.operand);
+            return pack(m.op5, inst.rd, 0, inst.operand);
+        }
+        if (inst.mode == Mode::Mem && inst.operand > 7)
+            fatal("register r%u out of range", inst.operand);
+        return pack(m.op5, inst.rd, inst.operand, 0);
+    }
+    fatal("LoadStore4 does not support '%s' (mode %d)",
+          opName(inst.op), static_cast<int>(inst.mode));
+}
+
+DecodeResult
+decodeLs(uint16_t word)
+{
+    Instruction inst;
+    inst.sizeBits = 16;
+    unsigned op5 = bits(word, 15, 11);
+
+    if (op5 == LS_BR) {
+        inst.op = Op::Br;
+        inst.cond = bits(word, 10, 8);
+        inst.target = word & 0x7F;
+        return {inst, 2};
+    }
+    if (op5 == LS_CALL) {
+        inst.op = Op::Call;
+        inst.target = word & 0x7F;
+        return {inst, 2};
+    }
+    if (op5 == LS_RET) {
+        inst.op = Op::Ret;
+        return {inst, 2};
+    }
+
+    for (const auto &m : kMap) {
+        if (m.op5 != static_cast<LsOp5>(op5))
+            continue;
+        inst.op = m.op;
+        inst.mode = m.mode;
+        inst.rd = bits(word, 10, 8);
+        inst.operand = m.mode == Mode::Imm ? bits(word, 4, 1)
+                                           : bits(word, 7, 5);
+        return {inst, 2};
+    }
+    return {inst, 2};   // reserved op5 -> Invalid
+}
+
+} // namespace flexi

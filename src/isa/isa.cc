@@ -1,0 +1,61 @@
+#include "isa.hh"
+
+#include "common/logging.hh"
+
+namespace flexi
+{
+
+const char *
+isaName(IsaKind isa)
+{
+    switch (isa) {
+      case IsaKind::FlexiCore4: return "FlexiCore4";
+      case IsaKind::FlexiCore8: return "FlexiCore8";
+      case IsaKind::ExtAcc4: return "ExtAcc4";
+      case IsaKind::LoadStore4: return "LoadStore4";
+    }
+    panic("isaName: bad IsaKind");
+}
+
+unsigned
+isaDataWidth(IsaKind isa)
+{
+    return isa == IsaKind::FlexiCore8 ? 8 : 4;
+}
+
+unsigned
+isaMemWords(IsaKind isa)
+{
+    return isa == IsaKind::FlexiCore8 ? 4 : 8;
+}
+
+const char *
+opName(Op op)
+{
+    switch (op) {
+      case Op::Add: return "add";
+      case Op::Nand: return "nand";
+      case Op::Xor: return "xor";
+      case Op::Load: return "load";
+      case Op::Store: return "store";
+      case Op::Br: return "br";
+      case Op::Ldb: return "ldb";
+      case Op::Adc: return "adc";
+      case Op::Sub: return "sub";
+      case Op::Swb: return "swb";
+      case Op::And: return "and";
+      case Op::Or: return "or";
+      case Op::Neg: return "neg";
+      case Op::Xch: return "xch";
+      case Op::Li: return "li";
+      case Op::Asr: return "asr";
+      case Op::Lsr: return "lsr";
+      case Op::Call: return "call";
+      case Op::Ret: return "ret";
+      case Op::Mov: return "mov";
+      case Op::Invalid: return "<invalid>";
+    }
+    panic("opName: bad Op");
+}
+
+} // namespace flexi

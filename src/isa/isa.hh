@@ -1,0 +1,140 @@
+/**
+ * @file
+ * Instruction-set definitions for all four FlexiCore-family ISAs.
+ *
+ * The paper defines two fabricated ISAs and two DSE ISAs:
+ *
+ *  - FlexiCore4 (Figure 2a): 4-bit accumulator machine, 9 instructions,
+ *    fixed 8-bit encoding, 7-bit PC, 8 x 4-bit data memory with the
+ *    input / output ports memory-mapped at addresses 0 / 1.
+ *  - FlexiCore8 (Figure 2b): 8-bit datapath, 4 x 8-bit memory, plus a
+ *    two-byte LOAD BYTE instruction (prefix 0b00001000).
+ *  - ExtAcc4 (Section 6.1 "revised" op set): accumulator machine with
+ *    Add(i), Adc(i), Sub, Swb, And(i), Or(i), Xor(i), Neg, Xch, Load,
+ *    Store, Branch-nzp, Call, Ret, Asr(i), Lsr(i). The paper gives no
+ *    binary encoding; ours keeps 8-bit instructions with two-byte
+ *    branch/call (DESIGN.md Section 3).
+ *  - LoadStore4 (Section 6.2): two-address load-store machine over the
+ *    same 8-word memory (dual-ported), fixed 16-bit encoding.
+ */
+
+#ifndef FLEXI_ISA_ISA_HH
+#define FLEXI_ISA_ISA_HH
+
+#include <cstdint>
+#include <string>
+
+namespace flexi
+{
+
+/** The four instruction-set architectures. */
+enum class IsaKind : uint8_t
+{
+    FlexiCore4,
+    FlexiCore8,
+    ExtAcc4,
+    LoadStore4,
+};
+
+/** Human-readable ISA name. */
+const char *isaName(IsaKind isa);
+
+/** Datapath width in bits (4 or 8). */
+unsigned isaDataWidth(IsaKind isa);
+
+/** Number of data-memory words (incl. the two IO-mapped addresses). */
+unsigned isaMemWords(IsaKind isa);
+
+/** Program-counter width in bits (always 7: 128-entry pages). */
+constexpr unsigned kPcBits = 7;
+constexpr unsigned kPageSize = 1u << kPcBits;
+
+/** Memory-mapped IO addresses (Section 3.3). */
+constexpr unsigned kInputPortAddr = 0;
+constexpr unsigned kOutputPortAddr = 1;
+
+/** Unified operation enumeration across all four ISAs. */
+enum class Op : uint8_t
+{
+    // Base FlexiCore operations.
+    Add,        ///< ACC += operand
+    Nand,       ///< ACC = ~(ACC & operand)
+    Xor,        ///< ACC ^= operand
+    Load,       ///< ACC = MEM[addr]
+    Store,      ///< MEM[addr] = ACC
+    Br,         ///< branch if ACC MSB set (base) / nzp mask (ext/ls)
+    Ldb,        ///< FlexiCore8 only: load next program byte into ACC
+    // Extended (DSE) operations.
+    Adc,        ///< add with carry
+    Sub,        ///< subtract
+    Swb,        ///< subtract with borrow
+    And,        ///< conjunction
+    Or,         ///< disjunction
+    Neg,        ///< two's-complement negate
+    Xch,        ///< exchange ACC with MEM[addr]
+    Li,         ///< load small immediate (our addition, DESIGN.md 3)
+    Asr,        ///< arithmetic shift right
+    Lsr,        ///< logical shift right
+    Call,       ///< save PC+size to return register, jump
+    Ret,        ///< jump to return register
+    // Load-store only.
+    Mov,        ///< rd = src
+    Invalid,    ///< reserved/undefined encoding
+};
+
+/** Mnemonic for an operation. */
+const char *opName(Op op);
+
+/** Operand addressing mode. */
+enum class Mode : uint8_t
+{
+    None,   ///< no operand (Ret, Neg on acc, ...)
+    Mem,    ///< data-memory operand (register operand on LoadStore4)
+    Imm,    ///< immediate operand
+};
+
+/** Branch condition mask bits (LC-3 style nzp). */
+constexpr uint8_t kCondN = 0b100;
+constexpr uint8_t kCondZ = 0b010;
+constexpr uint8_t kCondP = 0b001;
+constexpr uint8_t kCondAlways = 0b111;
+
+/**
+ * A decoded instruction, ISA-independent. Fields not used by a
+ * particular (op, mode) pair are zero.
+ */
+struct Instruction
+{
+    Op op = Op::Invalid;
+    Mode mode = Mode::None;
+    /** Destination register (LoadStore4 only). */
+    uint8_t rd = 0;
+    /** Memory address / source register / raw immediate bits. */
+    uint8_t operand = 0;
+    /** Branch or call target (7-bit, page-relative). */
+    uint8_t target = 0;
+    /** nzp condition mask for Br (base ISAs always use kCondN). */
+    uint8_t cond = 0;
+    /** Encoded size in bits (8 or 16). */
+    uint8_t sizeBits = 8;
+
+    bool operator==(const Instruction &other) const = default;
+
+    bool valid() const { return op != Op::Invalid; }
+    unsigned sizeBytes() const { return sizeBits / 8; }
+};
+
+/**
+ * Result of decoding at a program-memory location: the instruction
+ * plus the number of bytes it occupies (2 for FlexiCore8 ldb,
+ * ExtAcc4 br/call, and everything on LoadStore4).
+ */
+struct DecodeResult
+{
+    Instruction inst;
+    unsigned bytes = 1;
+};
+
+} // namespace flexi
+
+#endif // FLEXI_ISA_ISA_HH

@@ -1,0 +1,189 @@
+#include "fc8_programs.hh"
+
+#include "common/bitops.hh"
+#include "common/logging.hh"
+#include "common/rng.hh"
+
+namespace flexi
+{
+
+namespace
+{
+
+/** Unconditional branch (clobbers ACC to 0xFF). */
+std::string
+ubr(const std::string &target)
+{
+    return "nandi 0\nbr " + target + "\n";
+}
+
+/** ACC = 0 from any state (xori's 4-bit immediate sign-extends). */
+std::string
+zeroAcc()
+{
+    return "nandi 0\nxori -1\n";
+}
+
+std::string
+thresholdingSrc()
+{
+    // Full-range 8-bit compare against 100: the MSB splits the
+    // range, then an exact subtract decides (LOAD BYTE supplies the
+    // wide constant the 4-bit immediates cannot).
+    std::string s;
+    s += "loop: load r0\n";
+    s += "store r2\n";
+    s += "br exceed\n";              // x >= 128 > 100
+    s += strfmt("ldb 0x%02X\n", (256 - (kFc8Threshold + 1)) & 0xFF);
+    s += "add r2\n";                 // x - 101
+    s += "br small\n";               // negative -> x <= 100
+    s += "exceed: load r2\nstore r1\n";
+    s += ubr("loop");
+    s += "small: " + zeroAcc() + "store r1\n";
+    s += ubr("loop");
+    return s;
+}
+
+std::string
+paritySrc()
+{
+    // Eight unrolled MSB tests with doubling — the nibble trick of
+    // the FlexiCore4 kernel, stretched across the octet.
+    std::string s;
+    s += "loop: load r0\n";
+    s += "store r2\n";
+    s += zeroAcc() + "store r3\n";
+    for (int bit = 7; bit >= 0; --bit) {
+        std::string t = strfmt("t%d", bit), c = strfmt("c%d", bit);
+        s += "load r2\n";
+        s += "br " + t + "\n";
+        s += ubr(c);
+        s += t + ": load r3\nxori 1\nstore r3\n" + ubr(c);
+        s += c + ":";
+        s += bit > 0 ? " load r2\nadd r2\nstore r2\n" : "\n";
+    }
+    s += "load r3\nstore r1\n";
+    s += ubr("loop");
+    return s;
+}
+
+std::string
+checksumSrc()
+{
+    // Running mod-256 checksum — the error-detection-coding entry of
+    // Table 1 in its simplest form.
+    std::string s;
+    s += zeroAcc() + "store r2\n";
+    s += "loop: load r0\n";
+    s += "add r2\n";
+    s += "store r2\n";
+    s += "store r1\n";
+    s += ubr("loop");
+    return s;
+}
+
+std::string
+intAvgSrc()
+{
+    // Exponential smoothing with an 8-bit HALVE: seven MSB tests
+    // with doubling; the running average lives in r3 (it doubles as
+    // the HALVE accumulator), the shift scratch in r2 — all the
+    // register pressure FlexiCore8's 2 general words allow.
+    std::string s;
+    s += zeroAcc() + "store r3\n";       // y = 0
+    s += "loop: load r0\n";
+    s += "add r3\n";                     // x + y (<= 254, exact)
+    s += "store r2\n";                   // v
+    s += zeroAcc() + "store r3\n";       // q = 0
+    for (int bit = 7; bit >= 1; --bit) {
+        std::string t = strfmt("h%d", bit), c = strfmt("g%d", bit);
+        s += "load r2\n";
+        s += "br " + t + "\n";
+        s += ubr(c);
+        s += t + strfmt(": ldb 0x%02X\nadd r3\nstore r3\n",
+                        1u << (bit - 1));
+        s += ubr(c);
+        s += c + ": load r2\nadd r2\nstore r2\n";
+    }
+    s += "load r3\nstore r1\n";          // y' = (x+y) >> 1
+    s += ubr("loop");
+    return s;
+}
+
+} // namespace
+
+const char *
+fc8ProgramName(Fc8Program id)
+{
+    switch (id) {
+      case Fc8Program::Thresholding: return "Thresholding8";
+      case Fc8Program::Parity: return "Parity8";
+      case Fc8Program::Checksum: return "Checksum8";
+      case Fc8Program::IntAvg: return "IntAvg8";
+      default:
+        panic("fc8ProgramName: bad id");
+    }
+}
+
+std::string
+fc8ProgramSource(Fc8Program id)
+{
+    switch (id) {
+      case Fc8Program::Thresholding: return thresholdingSrc();
+      case Fc8Program::Parity: return paritySrc();
+      case Fc8Program::Checksum: return checksumSrc();
+      case Fc8Program::IntAvg: return intAvgSrc();
+      default:
+        panic("fc8ProgramSource: bad id");
+    }
+}
+
+std::vector<uint8_t>
+fc8GoldenOutputs(Fc8Program id, const std::vector<uint8_t> &in)
+{
+    std::vector<uint8_t> out;
+    out.reserve(in.size());
+    switch (id) {
+      case Fc8Program::Thresholding:
+        for (uint8_t x : in)
+            out.push_back(x > kFc8Threshold ? x : 0);
+        return out;
+      case Fc8Program::Parity:
+        for (uint8_t x : in)
+            out.push_back(static_cast<uint8_t>(parity(x, 8)));
+        return out;
+      case Fc8Program::Checksum: {
+        uint8_t sum = 0;
+        for (uint8_t x : in) {
+            sum = static_cast<uint8_t>(sum + x);
+            out.push_back(sum);
+        }
+        return out;
+      }
+      case Fc8Program::IntAvg: {
+        uint8_t y = 0;
+        for (uint8_t x : in) {
+            y = static_cast<uint8_t>(((x + y) & 0xFF) >> 1);
+            out.push_back(y);
+        }
+        return out;
+      }
+      default:
+        panic("fc8GoldenOutputs: bad id");
+    }
+}
+
+std::vector<uint8_t>
+fc8ProgramInputs(Fc8Program id, size_t work, uint64_t seed)
+{
+    Rng rng(seed ^ 0xFC88FC88ull);
+    std::vector<uint8_t> in;
+    in.reserve(work);
+    // IntAvg keeps x + y below 256 by sampling 7-bit inputs.
+    unsigned range = id == Fc8Program::IntAvg ? 128 : 256;
+    for (size_t i = 0; i < work; ++i)
+        in.push_back(static_cast<uint8_t>(rng.below(range)));
+    return in;
+}
+
+} // namespace flexi

@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Application programs for FlexiCore8.
+ *
+ * The paper's kernel suite runs on FlexiCore4 (Section 5.2); these
+ * FlexiCore8 programs exercise the 8-bit core's distinctive features
+ * — the two-byte LOAD BYTE instruction for octet constants, the
+ * sign-extended 4-bit immediates, and the brutally small 4-word data
+ * memory (two general registers!) — on the same application
+ * categories (Table 1).
+ *
+ * | Program      | I/O per work unit                               |
+ * |--------------|-------------------------------------------------|
+ * | Thresholding | in: sample (octet); out: sample if > 100 else 0 |
+ * | Parity       | in: octet; out: parity bit                      |
+ * | Checksum     | in: octet; out: running sum mod 256             |
+ * | IntAvg       | in: octet (0..127); out: y' = ((x+y)&0xFF)>>1   |
+ */
+
+#ifndef FLEXI_KERNELS_FC8_PROGRAMS_HH
+#define FLEXI_KERNELS_FC8_PROGRAMS_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace flexi
+{
+
+/** FlexiCore8 demo program identifiers. */
+enum class Fc8Program : uint8_t
+{
+    Thresholding,
+    Parity,
+    Checksum,
+    IntAvg,
+    NumPrograms,
+};
+
+constexpr size_t kNumFc8Programs =
+    static_cast<size_t>(Fc8Program::NumPrograms);
+
+const char *fc8ProgramName(Fc8Program id);
+
+/** Assembly source (FlexiCore8 ISA). */
+std::string fc8ProgramSource(Fc8Program id);
+
+/** Threshold used by the 8-bit Thresholding program. */
+constexpr uint8_t kFc8Threshold = 100;
+
+/** Golden model: expected outputs for an input stream. */
+std::vector<uint8_t> fc8GoldenOutputs(Fc8Program id,
+                                      const std::vector<uint8_t> &in);
+
+/** Seeded input stream, one octet per work unit. */
+std::vector<uint8_t> fc8ProgramInputs(Fc8Program id, size_t work,
+                                      uint64_t seed);
+
+} // namespace flexi
+
+#endif // FLEXI_KERNELS_FC8_PROGRAMS_HH

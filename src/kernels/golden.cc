@@ -1,0 +1,168 @@
+#include "golden.hh"
+
+#include "common/bitops.hh"
+#include "common/logging.hh"
+
+namespace flexi
+{
+
+uint8_t
+xorShiftStep(uint8_t s)
+{
+    s ^= static_cast<uint8_t>(s << kXsA);
+    s ^= static_cast<uint8_t>(s >> kXsB);
+    s ^= static_cast<uint8_t>(s << kXsC);
+    return s;
+}
+
+std::vector<uint8_t>
+goldenCalculator(CalcOp op, uint8_t a, uint8_t b)
+{
+    a &= 0xF;
+    b &= 0xF;
+    switch (op) {
+      case CalcOp::Add: {
+        unsigned s = a + b;
+        return {static_cast<uint8_t>(s & 0xF),
+                static_cast<uint8_t>(s >> 4)};
+      }
+      case CalcOp::Sub: {
+        unsigned d = (a - b) & 0xF;
+        return {static_cast<uint8_t>(d),
+                static_cast<uint8_t>(a < b ? 1 : 0)};
+      }
+      case CalcOp::Mul: {
+        unsigned p = a * b;
+        return {static_cast<uint8_t>(p & 0xF),
+                static_cast<uint8_t>(p >> 4)};
+      }
+      case CalcOp::Div: {
+        if (b == 0)
+            return {0xF, 0xF};   // architected error marker
+        return {static_cast<uint8_t>(a / b),
+                static_cast<uint8_t>(a % b)};
+      }
+    }
+    panic("goldenCalculator: bad op");
+}
+
+std::vector<uint8_t>
+goldenFir(const std::vector<uint8_t> &xs)
+{
+    std::vector<uint8_t> out;
+    out.reserve(xs.size());
+    uint8_t x1 = 0, x2 = 0, x3 = 0;
+    for (uint8_t x : xs) {
+        uint8_t x0 = x & 0xF;
+        out.push_back(static_cast<uint8_t>((x0 - x1 + x2 - x3) & 0xF));
+        x3 = x2;
+        x2 = x1;
+        x1 = x0;
+    }
+    return out;
+}
+
+std::vector<uint8_t>
+goldenIntAvg(const std::vector<uint8_t> &xs)
+{
+    std::vector<uint8_t> out;
+    out.reserve(xs.size());
+    uint8_t y = 0;
+    for (uint8_t x : xs) {
+        y = static_cast<uint8_t>((((x & 0xF) + y) & 0xF) >> 1);
+        out.push_back(y);
+    }
+    return out;
+}
+
+std::vector<uint8_t>
+goldenThreshold(const std::vector<uint8_t> &xs)
+{
+    std::vector<uint8_t> out;
+    out.reserve(xs.size());
+    for (uint8_t x : xs) {
+        uint8_t v = x & 0xF;
+        out.push_back(v > kThreshold ? v : 0);
+    }
+    return out;
+}
+
+std::vector<uint8_t>
+goldenParity(const std::vector<uint8_t> &nibbles)
+{
+    if (nibbles.size() % 2)
+        fatal("parity inputs must come in (lo, hi) pairs");
+    std::vector<uint8_t> out;
+    for (size_t i = 0; i < nibbles.size(); i += 2) {
+        unsigned word = (nibbles[i] & 0xF) |
+                        ((nibbles[i + 1] & 0xF) << 4);
+        out.push_back(static_cast<uint8_t>(parity(word, 8)));
+    }
+    return out;
+}
+
+std::vector<uint8_t>
+goldenXorShift(uint8_t lo, uint8_t hi, unsigned steps)
+{
+    uint8_t s = static_cast<uint8_t>((lo & 0xF) | (hi << 4));
+    std::vector<uint8_t> out;
+    out.reserve(steps * 2);
+    for (unsigned i = 0; i < steps; ++i) {
+        s = xorShiftStep(s);
+        out.push_back(s & 0xF);
+        out.push_back(s >> 4);
+    }
+    return out;
+}
+
+std::vector<uint8_t>
+goldenOutputs(KernelId id, const std::vector<uint8_t> &inputs)
+{
+    unsigned per = kernelInputsPerWork(id);
+    if (inputs.size() % per)
+        fatal("%s consumes %u inputs per work unit; %zu given",
+              kernelName(id), per, inputs.size());
+
+    switch (id) {
+      case KernelId::Calculator: {
+        std::vector<uint8_t> out;
+        for (size_t i = 0; i < inputs.size(); i += 3) {
+            auto r = goldenCalculator(
+                static_cast<CalcOp>(inputs[i] & 0x3), inputs[i + 1],
+                inputs[i + 2]);
+            out.insert(out.end(), r.begin(), r.end());
+        }
+        return out;
+      }
+      case KernelId::FirFilter:
+        return goldenFir(inputs);
+      case KernelId::DecisionTree: {
+        std::vector<uint8_t> out;
+        for (size_t i = 0; i < inputs.size(); i += 3) {
+            out.push_back(benchmarkTree().classify(
+                {static_cast<uint8_t>(inputs[i] & 0x7),
+                 static_cast<uint8_t>(inputs[i + 1] & 0x7),
+                 static_cast<uint8_t>(inputs[i + 2] & 0x7)}));
+        }
+        return out;
+      }
+      case KernelId::IntAvg:
+        return goldenIntAvg(inputs);
+      case KernelId::Thresholding:
+        return goldenThreshold(inputs);
+      case KernelId::ParityCheck:
+        return goldenParity(inputs);
+      case KernelId::XorShift8: {
+        std::vector<uint8_t> out;
+        for (size_t i = 0; i < inputs.size(); i += 2) {
+            auto r = goldenXorShift(inputs[i], inputs[i + 1], 1);
+            out.insert(out.end(), r.begin(), r.end());
+        }
+        return out;
+      }
+      default:
+        panic("goldenOutputs: bad kernel");
+    }
+}
+
+} // namespace flexi

@@ -1,0 +1,71 @@
+/**
+ * @file
+ * C++ golden models for every benchmark kernel.
+ *
+ * Each model consumes a flat input stream (the values the core would
+ * read from its input bus, in order) and produces the expected output
+ * stream. Assembly implementations on every ISA must match these
+ * exactly; the paper's wafer test uses the same
+ * golden-versus-measured criterion.
+ */
+
+#ifndef FLEXI_KERNELS_GOLDEN_HH
+#define FLEXI_KERNELS_GOLDEN_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "kernels/kernels.hh"
+
+namespace flexi
+{
+
+/** Calculator operation selectors (the first input of each query). */
+enum class CalcOp : uint8_t
+{
+    Add = 0,
+    Sub = 1,
+    Mul = 2,
+    Div = 3,
+};
+
+/**
+ * Expected output stream of @p id for @p inputs. The stream must hold
+ * a whole number of work units (kernelInputsPerWork each).
+ */
+std::vector<uint8_t> goldenOutputs(KernelId id,
+                                   const std::vector<uint8_t> &inputs);
+
+/** @name Individual golden models (exposed for direct unit testing) */
+///@{
+
+/** One calculator query: returns the two output nibbles. */
+std::vector<uint8_t> goldenCalculator(CalcOp op, uint8_t a, uint8_t b);
+
+/** Four-tap FIR with coefficients {+1,-1,+1,-1}, zero-initialized. */
+std::vector<uint8_t> goldenFir(const std::vector<uint8_t> &xs);
+
+/** Exponential smoothing y' = ((x + y) & 0xF) >> 1, y0 = 0. */
+std::vector<uint8_t> goldenIntAvg(const std::vector<uint8_t> &xs);
+
+/** Thresholding: out = x if x > kThreshold else 0 (domain 0..13). */
+std::vector<uint8_t> goldenThreshold(const std::vector<uint8_t> &xs);
+
+/** Parity of the 8-bit word formed from (lo, hi) nibble pairs. */
+std::vector<uint8_t> goldenParity(const std::vector<uint8_t> &nibbles);
+
+/**
+ * XorShift8: seeded from (lo, hi), emits (lo, hi) per step for
+ * @p steps steps using the (7,5,3) triple.
+ */
+std::vector<uint8_t> goldenXorShift(uint8_t lo, uint8_t hi,
+                                    unsigned steps);
+
+/** One xorshift step on the full byte. */
+uint8_t xorShiftStep(uint8_t s);
+
+///@}
+
+} // namespace flexi
+
+#endif // FLEXI_KERNELS_GOLDEN_HH

@@ -1,0 +1,102 @@
+#include "inputs.hh"
+
+#include "common/logging.hh"
+#include "common/rng.hh"
+#include "kernels/golden.hh"
+
+namespace flexi
+{
+
+std::vector<uint8_t>
+kernelInputs(KernelId id, size_t work_units, uint64_t seed)
+{
+    Rng rng(seed ^ 0xF1E51C0DE5ull);
+    std::vector<uint8_t> in;
+
+    switch (id) {
+      case KernelId::Calculator: {
+        uint8_t prev_out = 0xFF;   // no previous output yet
+        for (size_t i = 0; i < work_units; ++i) {
+            for (;;) {
+                uint8_t op = static_cast<uint8_t>(rng.below(4));
+                uint8_t a = static_cast<uint8_t>(rng.below(16));
+                uint8_t b = static_cast<uint8_t>(
+                    op == 3 ? 1 + rng.below(15) : rng.below(16));
+                auto out = goldenCalculator(static_cast<CalcOp>(op),
+                                            a, b);
+                // Keep the reserved pager prefix {0xA, 0x5} out of
+                // the output stream (see header).
+                bool clash = (out[0] == 0xA && out[1] == 0x5) ||
+                             (prev_out == 0xA && out[0] == 0x5);
+                if (clash)
+                    continue;
+                in.push_back(op);
+                in.push_back(a);
+                in.push_back(b);
+                prev_out = out[1];
+                break;
+            }
+        }
+        return in;
+      }
+      case KernelId::DecisionTree:
+        for (size_t i = 0; i < work_units * 3; ++i)
+            in.push_back(static_cast<uint8_t>(rng.below(8)));
+        return in;
+      case KernelId::FirFilter:
+        for (size_t i = 0; i < work_units; ++i)
+            in.push_back(static_cast<uint8_t>(rng.below(16)));
+        return in;
+      case KernelId::IntAvg:
+        // 3-bit sensor samples (Table 1's low-precision inputs) so
+        // the exponential smoothing stays exact in 4 bits.
+        for (size_t i = 0; i < work_units; ++i)
+            in.push_back(static_cast<uint8_t>(rng.below(8)));
+        return in;
+      case KernelId::Thresholding:
+        // Full 4-bit range (the kernels use full-range compares).
+        for (size_t i = 0; i < work_units; ++i)
+            in.push_back(static_cast<uint8_t>(rng.below(16)));
+        return in;
+      case KernelId::ParityCheck:
+        for (size_t i = 0; i < work_units * 2; ++i)
+            in.push_back(static_cast<uint8_t>(rng.below(16)));
+        return in;
+      case KernelId::XorShift8:
+        for (size_t i = 0; i < work_units; ++i) {
+            uint8_t s = static_cast<uint8_t>(1 + rng.below(255));
+            in.push_back(s & 0xF);
+            in.push_back(s >> 4);
+        }
+        return in;
+      default:
+        panic("kernelInputs: bad kernel");
+    }
+}
+
+std::vector<uint8_t>
+exhaustiveCalculatorInputs(uint8_t op)
+{
+    std::vector<uint8_t> in;
+    uint8_t prev_out = 0xFF;
+    for (unsigned a = 0; a < 16; ++a) {
+        for (unsigned b = 0; b < 16; ++b) {
+            if (op == 3 && b == 0)
+                continue;   // non-zero divisor (Section 5.1)
+            auto out = goldenCalculator(static_cast<CalcOp>(op),
+                                        static_cast<uint8_t>(a),
+                                        static_cast<uint8_t>(b));
+            bool clash = (out[0] == 0xA && out[1] == 0x5) ||
+                         (prev_out == 0xA && out[0] == 0x5);
+            if (clash)
+                continue;   // reserved pager prefix; skip this pair
+            in.push_back(op);
+            in.push_back(static_cast<uint8_t>(a));
+            in.push_back(static_cast<uint8_t>(b));
+            prev_out = out[1];
+        }
+    }
+    return in;
+}
+
+} // namespace flexi

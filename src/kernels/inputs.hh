@@ -1,0 +1,40 @@
+/**
+ * @file
+ * Deterministic input-set generation for the kernel suite.
+ *
+ * "These values are based on the mean application latency given
+ * uniform sampling over the input space" (Section 5.2) — the
+ * generators sample uniformly from each kernel's input domain with a
+ * seeded PRNG so every experiment is reproducible.
+ */
+
+#ifndef FLEXI_KERNELS_INPUTS_HH
+#define FLEXI_KERNELS_INPUTS_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "kernels/kernels.hh"
+
+namespace flexi
+{
+
+/**
+ * Generate the flat input stream for @p work_units units of work of
+ * kernel @p id.
+ *
+ * Domain notes: streaming kernels sample 3-bit sensor values;
+ * Calculator draws ops uniformly with full 4-bit operands (non-zero
+ * divisors, Section 5.1); query streams whose outputs would contain
+ * the MMU escape prefix {0xA, 0x5} back-to-back are re-drawn, since
+ * that value sequence is reserved by the off-chip pager protocol.
+ */
+std::vector<uint8_t> kernelInputs(KernelId id, size_t work_units,
+                                  uint64_t seed);
+
+/** Exhaustive input stream for one calculator op over all (a, b). */
+std::vector<uint8_t> exhaustiveCalculatorInputs(uint8_t op);
+
+} // namespace flexi
+
+#endif // FLEXI_KERNELS_INPUTS_HH

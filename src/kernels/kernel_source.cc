@@ -1,0 +1,24 @@
+#include "common/logging.hh"
+#include "kernels/sources.hh"
+
+namespace flexi
+{
+
+std::string
+kernelSource(KernelId id, IsaKind isa)
+{
+    switch (isa) {
+      case IsaKind::FlexiCore4:
+        return fc4Source(id);
+      case IsaKind::ExtAcc4:
+        return extSource(id);
+      case IsaKind::LoadStore4:
+        return lsSource(id);
+      case IsaKind::FlexiCore8:
+        fatal("the kernel suite targets the 4-bit cores "
+              "(the paper evaluates FlexiCore4, Section 5.2)");
+    }
+    panic("kernelSource: bad isa");
+}
+
+} // namespace flexi

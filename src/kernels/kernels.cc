@@ -1,0 +1,92 @@
+#include "kernels.hh"
+
+#include "common/logging.hh"
+#include "common/rng.hh"
+
+namespace flexi
+{
+
+std::array<KernelId, kNumKernels>
+allKernels()
+{
+    return {KernelId::Calculator, KernelId::FirFilter,
+            KernelId::DecisionTree, KernelId::IntAvg,
+            KernelId::Thresholding, KernelId::ParityCheck,
+            KernelId::XorShift8};
+}
+
+const char *
+kernelName(KernelId id)
+{
+    switch (id) {
+      case KernelId::Calculator: return "Calculator";
+      case KernelId::FirFilter: return "Four-tap FIR";
+      case KernelId::DecisionTree: return "Decision Tree";
+      case KernelId::IntAvg: return "IntAvg";
+      case KernelId::Thresholding: return "Thresholding";
+      case KernelId::ParityCheck: return "Parity Check";
+      case KernelId::XorShift8: return "XorShift8";
+      default:
+        panic("kernelName: bad id");
+    }
+}
+
+unsigned
+kernelInputsPerWork(KernelId id)
+{
+    switch (id) {
+      case KernelId::Calculator: return 3;
+      case KernelId::DecisionTree: return 3;
+      case KernelId::ParityCheck: return 2;
+      case KernelId::XorShift8: return 2;
+      default: return 1;
+    }
+}
+
+unsigned
+kernelOutputsPerWork(KernelId id)
+{
+    switch (id) {
+      case KernelId::Calculator: return 2;
+      case KernelId::XorShift8: return 2;
+      default: return 1;
+    }
+}
+
+DecisionTree
+DecisionTree::random(uint64_t seed)
+{
+    Rng rng(seed);
+    DecisionTree tree;
+    for (auto &node : tree.nodes) {
+        node.feature = static_cast<uint8_t>(rng.below(3));
+        node.threshold = static_cast<uint8_t>(rng.below(7));
+    }
+    for (auto &leaf : tree.leaves)
+        leaf = static_cast<uint8_t>(rng.below(8));
+    return tree;
+}
+
+uint8_t
+DecisionTree::classify(const std::array<uint8_t, 3> &features) const
+{
+    unsigned i = 0;
+    for (int depth = 0; depth < 4; ++depth) {
+        const Node &n = nodes[i];
+        bool left = features[n.feature] <= n.threshold;
+        i = 2 * i + (left ? 1 : 2);
+    }
+    return leaves[i - 15];
+}
+
+const DecisionTree &
+benchmarkTree()
+{
+    // Fixed seed: the "randomly generated depth-four decision tree"
+    // of Section 5.1, shared by the assembly generators and the
+    // golden model.
+    static const DecisionTree tree = DecisionTree::random(0xDEC15107);
+    return tree;
+}
+
+} // namespace flexi

@@ -1,0 +1,110 @@
+/**
+ * @file
+ * The benchmark kernel suite (Table 6 of the paper).
+ *
+ * Seven kernels representative of flexible-electronics workloads:
+ *
+ *  | Kernel       | Type        | I/O per unit of work            |
+ *  |--------------|-------------|---------------------------------|
+ *  | Calculator   | interactive | in: op,a,b; out: 2 result words |
+ *  | Four-tap FIR | streaming   | in: x; out: filtered y          |
+ *  | DecisionTree | reactive    | in: 3 features; out: class      |
+ *  | IntAvg       | streaming   | in: x; out: smoothed y          |
+ *  | Thresholding | streaming   | in: x; out: x if x>5 else 0     |
+ *  | ParityCheck  | reactive    | in: lo,hi nibbles; out: parity  |
+ *  | XorShift8    | reactive    | in: seed lo,hi; out: lo,hi/step |
+ *
+ * Each kernel has hand-written assembly for the base FlexiCore4 ISA
+ * and for the two DSE ISAs (ExtAcc4 and LoadStore4), plus a C++
+ * golden model. Kernels larger than one 128-instruction page
+ * (Calculator, Decision Tree) use the off-chip MMU escape protocol.
+ *
+ * Domain notes (4-bit datapath): IntAvg smooths modulo 16 (exact
+ * for samples in 0..7, the generator's domain); Thresholding and the
+ * Calculator handle the full 4-bit range (full-range unsigned
+ * compares); division by zero returns the error marker 0xF,0xF.
+ */
+
+#ifndef FLEXI_KERNELS_KERNELS_HH
+#define FLEXI_KERNELS_KERNELS_HH
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "isa/isa.hh"
+
+namespace flexi
+{
+
+/** Kernel identifiers, in the paper's Table 6 order. */
+enum class KernelId : uint8_t
+{
+    Calculator,
+    FirFilter,
+    DecisionTree,
+    IntAvg,
+    Thresholding,
+    ParityCheck,
+    XorShift8,
+    NumKernels,
+};
+
+constexpr size_t kNumKernels =
+    static_cast<size_t>(KernelId::NumKernels);
+
+/** All kernels, for iteration. */
+std::array<KernelId, kNumKernels> allKernels();
+
+/** Human-readable name. */
+const char *kernelName(KernelId id);
+
+/** Inputs consumed per unit of work (query/sample). */
+unsigned kernelInputsPerWork(KernelId id);
+
+/** Outputs produced per unit of work. */
+unsigned kernelOutputsPerWork(KernelId id);
+
+/**
+ * Assembly source for @p id on @p isa. Fatal if the combination is
+ * unsupported (all seven kernels support FlexiCore4, ExtAcc4 and
+ * LoadStore4).
+ */
+std::string kernelSource(KernelId id, IsaKind isa);
+
+/** Threshold used by the Thresholding kernel (output iff x > 5). */
+constexpr uint8_t kThreshold = 5;
+
+/** XorShift8 shift triple (full period 255): s^=s<<7; s^=s>>5; s^=s<<3. */
+constexpr unsigned kXsA = 7, kXsB = 5, kXsC = 3;
+
+/**
+ * The randomly generated depth-four decision tree over 3 features
+ * (Section 5.1). Nodes are stored in heap order (children of i are
+ * 2i+1 / 2i+2); the walk goes left when f[feature] <= threshold.
+ */
+struct DecisionTree
+{
+    struct Node
+    {
+        uint8_t feature;     ///< 0..2
+        uint8_t threshold;   ///< 0..6 (features are 3-bit)
+    };
+
+    std::array<Node, 15> nodes;
+    std::array<uint8_t, 16> leaves;   ///< class labels, 0..7
+
+    /** Deterministically generate a tree from a seed. */
+    static DecisionTree random(uint64_t seed);
+
+    /** Golden classification. */
+    uint8_t classify(const std::array<uint8_t, 3> &features) const;
+};
+
+/** The tree instance used by kernel sources and golden model alike. */
+const DecisionTree &benchmarkTree();
+
+} // namespace flexi
+
+#endif // FLEXI_KERNELS_KERNELS_HH

@@ -1,0 +1,275 @@
+/**
+ * @file
+ * Benchmark kernels for the ExtAcc4 (revised-op-set) ISA.
+ *
+ * The Section 6.1 extensions collapse the base ISA's painful idioms:
+ * lsri/asri replace the ~30-instruction HALVE dance, sub/swb replace
+ * negate-and-add, the carry flag plus adc makes multi-word arithmetic
+ * direct, br.z/br.p give free zero tests, and call/ret enable
+ * subroutines. The resulting code-size collapse is Figure 10.
+ */
+
+#include <string>
+
+#include "common/logging.hh"
+#include "kernels/sources.hh"
+
+namespace flexi
+{
+
+namespace
+{
+
+/** Load a 4-bit constant (li covers 0..7; bigger needs addi steps). */
+std::string
+constAcc(unsigned k)
+{
+    k &= 0xF;
+    if (k <= 7)
+        return strfmt("li %u\n", k);
+    return strfmt("li %u\naddi 3\naddi 3\naddi 2\n", k - 8);
+}
+
+/** Subtract a small constant from ACC (addi immediates are -4..3). */
+std::string
+subConst(unsigned k)
+{
+    std::string s;
+    while (k > 4) {
+        s += "addi -4\n";
+        k -= 4;
+    }
+    if (k)
+        s += strfmt("addi -%u\n", k);
+    return s;
+}
+
+/** MMU escape triple. */
+std::string
+pageEscape(unsigned page)
+{
+    return constAcc(0xA) + "store r1\n" + constAcc(0x5) +
+           "store r1\n" + constAcc(page) + "store r1\n";
+}
+
+std::string
+thresholdingSrc()
+{
+    // Full-range compare: sub's borrow (inverted carry) answers
+    // threshold < x directly — the data-coalescing win.
+    std::string s;
+    s += "loop: load r0\n";
+    s += "store r2\n";
+    s += strfmt("li %u\n", kThreshold);
+    s += "sub r2\n";            // threshold - x; borrow iff x > thr
+    s += "li 0\nadci 0\n";      // materialize carry
+    s += "br.z exceed\n";       // carry 0 -> borrow -> exceed
+    s += "li 0\nstore r1\n";
+    s += "br.nzp loop\n";
+    s += "exceed: load r2\nstore r1\n";
+    s += "br.nzp loop\n";
+    return s;
+}
+
+std::string
+intAvgSrc()
+{
+    return
+        "li 0\n"
+        "store r2\n"
+        "loop: load r0\n"
+        "add r2\n"
+        "lsri 1\n"
+        "store r2\n"
+        "store r1\n"
+        "br.nzp loop\n";
+}
+
+std::string
+firSrc()
+{
+    return
+        "li 0\nstore r2\nstore r3\nstore r4\n"
+        "loop: load r0\n"
+        "store r5\n"
+        "sub r2\n"        // x0 - x1
+        "add r3\n"        // + x2
+        "sub r4\n"        // - x3
+        "store r1\n"
+        "load r3\nstore r4\n"
+        "load r2\nstore r3\n"
+        "load r5\nstore r2\n"
+        "br.nzp loop\n";
+}
+
+std::string
+paritySrc()
+{
+    // Parity by xor-folding the nibble — three instructions per fold
+    // step thanks to the barrel shifter.
+    return
+        "loop: load r0\n"
+        "xor r0\n"        // v = lo ^ hi
+        "store r2\n"
+        "lsri 2\n"
+        "xor r2\n"
+        "store r2\n"
+        "lsri 1\n"
+        "xor r2\n"
+        "andi 1\n"
+        "store r1\n"
+        "br.nzp loop\n";
+}
+
+std::string
+xorShiftSrc()
+{
+    std::string s;
+    s += "loop: load r0\nstore r2\n";        // lo
+    s += "load r0\nstore r3\n";              // hi
+    // (a) s ^= s << 7: hi ^= (lo & 1) << 3.
+    s += "load r2\nandi 1\nbr.z a_done\n";
+    s += constAcc(8) + "xor r3\nstore r3\n";
+    s += "a_done:\n";
+    // (b) s ^= s >> 5: lo ^= hi >> 1.
+    s += "load r3\nlsri 1\nxor r2\nstore r2\n";
+    // (c) s ^= s << 3.
+    s += "load r2\nlsri 1\nstore r6\n";      // lo >> 1
+    s += "load r3\nandi 1\nbr.z c_skip\n";
+    s += constAcc(8) + "xor r6\nstore r6\n"; // |= (hi & 1) << 3
+    s += "c_skip:\n";
+    s += "load r2\nandi 1\nbr.z d_zero\n";
+    s += constAcc(8) + "store r7\nbr.nzp d_done\n";
+    s += "d_zero: li 0\nstore r7\n";
+    s += "d_done:\n";
+    s += "load r3\nxor r6\nstore r3\n";
+    s += "load r2\nxor r7\nstore r2\n";
+    s += "load r2\nstore r1\n";
+    s += "load r3\nstore r1\n";
+    s += "br.nzp loop\n";
+    return s;
+}
+
+std::string
+decisionTreeSrc()
+{
+    const DecisionTree &tree = benchmarkTree();
+    auto nodeTest = [&](unsigned node, const std::string &left) {
+        const DecisionTree::Node &n = tree.nodes[node];
+        return strfmt("load r%u\n", 2 + n.feature) +
+               subConst(n.threshold + 1) +
+               strfmt("br.n %s\n", left.c_str());
+    };
+
+    std::string s;
+    s += "loop: load r0\nstore r2\nload r0\nstore r3\n"
+         "load r0\nstore r4\n";
+    s += nodeTest(0, "n1");
+    s += nodeTest(2, "go4");
+    s += pageEscape(4) + "br.nzp @sub6\n";
+    s += "go4: " + pageEscape(3) + "br.nzp @sub5\n";
+    s += "n1: " + nodeTest(1, "go1");
+    s += pageEscape(2) + "br.nzp @sub4\n";
+    s += "go1: " + pageEscape(1) + "br.nzp @sub3\n";
+
+    for (unsigned st = 0; st < 4; ++st) {
+        unsigned k = 3 + st;
+        unsigned page = 1 + st;
+        unsigned l = 2 * k + 1, r = 2 * k + 2;
+        auto leaf = [&](unsigned node, bool left) {
+            return tree.leaves[2 * node + (left ? 1 : 2) - 15];
+        };
+        std::string pfx = strfmt("p%u", page);
+        s += strfmt(".page %u\n", page);
+        s += strfmt("sub%u: ", k) + nodeTest(k, pfx + "_l");
+        s += nodeTest(r, pfx + "_rl");
+        s += constAcc(leaf(r, false)) + "store r1\nbr.nzp " + pfx +
+             "_ret\n";
+        s += pfx + "_rl: " + constAcc(leaf(r, true)) +
+             "store r1\nbr.nzp " + pfx + "_ret\n";
+        s += pfx + "_l: " + nodeTest(l, pfx + "_ll");
+        s += constAcc(leaf(l, false)) + "store r1\nbr.nzp " + pfx +
+             "_ret\n";
+        s += pfx + "_ll: " + constAcc(leaf(l, true)) +
+             "store r1\nbr.nzp " + pfx + "_ret\n";
+        s += pfx + "_ret: " + pageEscape(0) + "br.nzp @loop\n";
+    }
+    return s;
+}
+
+std::string
+calculatorSrc()
+{
+    std::string s;
+    s += "loop: load r0\nstore r6\n";
+    s += "load r0\nstore r2\n";
+    s += "load r0\nstore r3\n";
+    s += "load r6\naddi -1\nbr.n do_add\n";
+    s += "addi -1\nbr.n do_sub\n";
+    s += "addi -1\nbr.n go_mul\n";
+    s += pageEscape(2) + "br.nzp @div\n";
+    s += "go_mul: " + pageEscape(1) + "br.nzp @mul\n";
+
+    // add: the carry flag makes the second output word trivial.
+    s += "do_add: load r2\nadd r3\nstore r1\n";
+    s += "li 0\nadci 0\nstore r1\n";
+    s += "br.nzp loop\n";
+    // sub: borrow = !carry.
+    s += "do_sub: load r2\nsub r3\nstore r1\n";
+    s += "li 0\nadci 0\nxori 1\nstore r1\n";
+    s += "br.nzp loop\n";
+
+    // mul (page 1): left-to-right shift-and-add, adc carries the
+    // cross-word bit.
+    s += ".page 1\n";
+    s += "mul: li 0\nstore r4\nstore r5\n";
+    s += constAcc(0xC) + "store r7\n";       // counter = -4
+    s += "mul_loop:\n";
+    s += "load r4\nadd r4\nstore r4\n";      // plo <<= 1 (carry out)
+    s += "load r5\nadc r5\nstore r5\n";      // phi = 2*phi + carry
+    s += "load r3\nbr.n mul_add\n";
+    s += "br.nzp mul_next\n";
+    s += "mul_add: load r4\nadd r2\nstore r4\n";
+    s += "load r5\nadci 0\nstore r5\n";
+    s += "mul_next: load r3\nadd r3\nstore r3\n";
+    s += "load r7\naddi 1\nstore r7\nbr.n mul_loop\n";
+    s += "load r4\nstore r1\nload r5\nstore r1\n";
+    s += pageEscape(0) + "br.nzp @loop\n";
+
+    // div (page 2): br.z gives the zero-divisor test for free; the
+    // borrow (inverted carry) of sub ends the restoring loop.
+    s += ".page 2\n";
+    s += "div: load r3\nbr.z div_by0\n";
+    s += "li 0\nstore r4\n";
+    s += "load r2\nstore r5\n";
+    s += "div_loop: load r5\nsub r3\nstore r6\n";
+    s += "li 0\nadci 0\nbr.z div_done\n";    // borrow -> r < b
+    s += "load r6\nstore r5\n";
+    s += "load r4\naddi 1\nstore r4\n";
+    s += "br.nzp div_loop\n";
+    s += "div_done: load r4\nstore r1\nload r5\nstore r1\n";
+    s += pageEscape(0) + "br.nzp @loop\n";
+    s += "div_by0: " + constAcc(0xF) + "store r1\nstore r1\n";
+    s += pageEscape(0) + "br.nzp @loop\n";
+    return s;
+}
+
+} // namespace
+
+std::string
+extSource(KernelId id)
+{
+    switch (id) {
+      case KernelId::Calculator: return calculatorSrc();
+      case KernelId::FirFilter: return firSrc();
+      case KernelId::DecisionTree: return decisionTreeSrc();
+      case KernelId::IntAvg: return intAvgSrc();
+      case KernelId::Thresholding: return thresholdingSrc();
+      case KernelId::ParityCheck: return paritySrc();
+      case KernelId::XorShift8: return xorShiftSrc();
+      default:
+        panic("extSource: bad kernel");
+    }
+}
+
+} // namespace flexi

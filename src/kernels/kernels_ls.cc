@@ -1,0 +1,257 @@
+/**
+ * @file
+ * Benchmark kernels for the LoadStore4 (two-address) ISA.
+ *
+ * The second operand removes most of the accumulator shuffling;
+ * instruction count drops further than ExtAcc4, at the cost of
+ * 16-bit instructions (the Figure 12 code-density trade-off).
+ * Registers: r0 = input bus, r1 = output bus, r2..r7 general.
+ */
+
+#include <string>
+
+#include "common/logging.hh"
+#include "kernels/sources.hh"
+
+namespace flexi
+{
+
+namespace
+{
+
+/** MMU escape triple — movi to r1 drives the output bus directly. */
+std::string
+pageEscape(unsigned page)
+{
+    return strfmt("movi r1, 10\nmovi r1, 5\nmovi r1, %u\n", page);
+}
+
+std::string
+thresholdingSrc()
+{
+    // Full-range compare via sub's borrow, as on ExtAcc4.
+    return strfmt(
+        "loop: mov r2, r0\n"
+        "movi r3, %u\n"
+        "sub r3, r2\n"          // threshold - x
+        "movi r4, 0\n"
+        "adci r4, 0\n"
+        "br.z exceed\n"
+        "movi r1, 0\n"
+        "br.nzp loop\n"
+        "exceed: mov r1, r2\n"
+        "br.nzp loop\n",
+        kThreshold);
+}
+
+std::string
+intAvgSrc()
+{
+    return
+        "movi r2, 0\n"
+        "loop: mov r3, r0\n"
+        "add r3, r2\n"
+        "lsri r3, 1\n"
+        "mov r2, r3\n"
+        "mov r1, r3\n"
+        "br.nzp loop\n";
+}
+
+std::string
+firSrc()
+{
+    return
+        "movi r2, 0\nmovi r3, 0\nmovi r4, 0\n"
+        "loop: mov r5, r0\n"
+        "mov r6, r5\n"
+        "sub r6, r2\n"
+        "add r6, r3\n"
+        "sub r6, r4\n"
+        "mov r1, r6\n"
+        "mov r4, r3\n"
+        "mov r3, r2\n"
+        "mov r2, r5\n"
+        "br.nzp loop\n";
+}
+
+std::string
+paritySrc()
+{
+    return
+        "loop: mov r2, r0\n"
+        "mov r3, r0\n"
+        "xor r2, r3\n"
+        "mov r3, r2\n"
+        "lsri r3, 2\n"
+        "xor r2, r3\n"
+        "mov r3, r2\n"
+        "lsri r3, 1\n"
+        "xor r2, r3\n"
+        "andi r2, 1\n"
+        "mov r1, r2\n"
+        "br.nzp loop\n";
+}
+
+std::string
+xorShiftSrc()
+{
+    return
+        "loop: mov r2, r0\n"           // lo
+        "mov r3, r0\n"                 // hi
+        // (a) hi ^= (lo & 1) << 3
+        "mov r4, r2\n"
+        "andi r4, 1\n"
+        "br.z a_done\n"
+        "movi r4, 8\n"
+        "xor r3, r4\n"
+        "a_done:\n"
+        // (b) lo ^= hi >> 1
+        "mov r4, r3\n"
+        "lsri r4, 1\n"
+        "xor r2, r4\n"
+        // (c) t_hi = ((hi << 3) | (lo >> 1)) & 0xF; t_lo = (lo&1)<<3
+        "mov r4, r2\n"
+        "lsri r4, 1\n"
+        "mov r5, r3\n"
+        "andi r5, 1\n"
+        "br.z c_skip\n"
+        "movi r5, 8\n"
+        "xor r4, r5\n"
+        "c_skip:\n"
+        "mov r5, r2\n"
+        "andi r5, 1\n"
+        "br.z d_zero\n"
+        "movi r5, 8\n"
+        "br.nzp d_done\n"
+        "d_zero: movi r5, 0\n"
+        "d_done:\n"
+        "xor r3, r4\n"
+        "xor r2, r5\n"
+        "mov r1, r2\n"
+        "mov r1, r3\n"
+        "br.nzp loop\n";
+}
+
+std::string
+decisionTreeSrc()
+{
+    const DecisionTree &tree = benchmarkTree();
+    auto nodeTest = [&](unsigned node, const std::string &left) {
+        const DecisionTree::Node &n = tree.nodes[node];
+        return strfmt("mov r5, r%u\nmovi r6, %u\nsub r5, r6\n"
+                      "br.n %s\n", 2 + n.feature, n.threshold + 1,
+                      left.c_str());
+    };
+
+    std::string s;
+    s += "loop: mov r2, r0\nmov r3, r0\nmov r4, r0\n";
+    s += nodeTest(0, "n1");
+    s += nodeTest(2, "go4");
+    s += pageEscape(4) + "br.nzp @sub6\n";
+    s += "go4: " + pageEscape(3) + "br.nzp @sub5\n";
+    s += "n1: " + nodeTest(1, "go1");
+    s += pageEscape(2) + "br.nzp @sub4\n";
+    s += "go1: " + pageEscape(1) + "br.nzp @sub3\n";
+
+    for (unsigned st = 0; st < 4; ++st) {
+        unsigned k = 3 + st;
+        unsigned page = 1 + st;
+        unsigned l = 2 * k + 1, r = 2 * k + 2;
+        auto leaf = [&](unsigned node, bool left) {
+            return tree.leaves[2 * node + (left ? 1 : 2) - 15];
+        };
+        std::string pfx = strfmt("p%u", page);
+        s += strfmt(".page %u\n", page);
+        s += strfmt("sub%u: ", k) + nodeTest(k, pfx + "_l");
+        s += nodeTest(r, pfx + "_rl");
+        s += strfmt("movi r1, %u\nbr.nzp %s_ret\n", leaf(r, false),
+                    pfx.c_str());
+        s += pfx + "_rl: " +
+             strfmt("movi r1, %u\nbr.nzp %s_ret\n", leaf(r, true),
+                    pfx.c_str());
+        s += pfx + "_l: " + nodeTest(l, pfx + "_ll");
+        s += strfmt("movi r1, %u\nbr.nzp %s_ret\n", leaf(l, false),
+                    pfx.c_str());
+        s += pfx + "_ll: " +
+             strfmt("movi r1, %u\nbr.nzp %s_ret\n", leaf(l, true),
+                    pfx.c_str());
+        s += pfx + "_ret: " + pageEscape(0) + "br.nzp @loop\n";
+    }
+    return s;
+}
+
+std::string
+calculatorSrc()
+{
+    std::string s;
+    s += "loop: mov r6, r0\n";
+    s += "mov r2, r0\n";
+    s += "mov r3, r0\n";
+    s += "addi r6, 15\nbr.n do_add\n";    // 15 == -1 mod 16
+    s += "addi r6, 15\nbr.n do_sub\n";
+    s += "addi r6, 15\nbr.n go_mul\n";
+    s += pageEscape(2) + "br.nzp @div\n";
+    s += "go_mul: " + pageEscape(1) + "br.nzp @mul\n";
+
+    s += "do_add: mov r4, r2\n";
+    s += "add r4, r3\n";
+    s += "mov r1, r4\n";
+    s += "movi r4, 0\nadci r4, 0\nmov r1, r4\n";
+    s += "br.nzp loop\n";
+
+    s += "do_sub: mov r4, r2\n";
+    s += "sub r4, r3\n";
+    s += "mov r1, r4\n";
+    s += "movi r4, 0\nadci r4, 0\nxori r4, 1\nmov r1, r4\n";
+    s += "br.nzp loop\n";
+
+    s += ".page 1\n";
+    s += "mul: movi r4, 0\nmovi r5, 0\nmovi r7, 12\n";
+    s += "mul_loop:\n";
+    s += "add r4, r4\n";                  // plo <<= 1, carry out
+    s += "adc r5, r5\n";                  // phi = 2*phi + carry
+    s += "mov r6, r3\n";                  // flags from b
+    s += "br.n mul_add\n";
+    s += "br.nzp mul_next\n";
+    s += "mul_add: add r4, r2\nadci r5, 0\n";
+    s += "mul_next: add r3, r3\n";
+    s += "addi r7, 1\n";
+    s += "br.n mul_loop\n";
+    s += "mov r1, r4\nmov r1, r5\n";
+    s += pageEscape(0) + "br.nzp @loop\n";
+
+    s += ".page 2\n";
+    s += "div: mov r5, r3\nbr.z div_by0\n";
+    s += "movi r4, 0\n";
+    s += "mov r5, r2\n";
+    s += "div_loop: mov r6, r5\nsub r6, r3\n";
+    s += "movi r7, 0\nadci r7, 0\nbr.z div_done\n";
+    s += "mov r5, r6\n";
+    s += "addi r4, 1\n";
+    s += "br.nzp div_loop\n";
+    s += "div_done: mov r1, r4\nmov r1, r5\n";
+    s += pageEscape(0) + "br.nzp @loop\n";
+    s += "div_by0: movi r1, 15\nmovi r1, 15\n";
+    s += pageEscape(0) + "br.nzp @loop\n";
+    return s;
+}
+
+} // namespace
+
+std::string
+lsSource(KernelId id)
+{
+    switch (id) {
+      case KernelId::Calculator: return calculatorSrc();
+      case KernelId::FirFilter: return firSrc();
+      case KernelId::DecisionTree: return decisionTreeSrc();
+      case KernelId::IntAvg: return intAvgSrc();
+      case KernelId::Thresholding: return thresholdingSrc();
+      case KernelId::ParityCheck: return paritySrc();
+      case KernelId::XorShift8: return xorShiftSrc();
+      default:
+        panic("lsSource: bad kernel");
+    }
+}
+
+} // namespace flexi

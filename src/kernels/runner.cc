@@ -1,0 +1,57 @@
+#include "runner.hh"
+
+#include <memory>
+
+#include "assembler/assembler.hh"
+#include "common/logging.hh"
+#include "kernels/inputs.hh"
+#include "sim/mmu.hh"
+
+namespace flexi
+{
+
+KernelRun
+runKernelOnInputs(KernelId id, const TimingConfig &cfg,
+                  const std::vector<uint8_t> &inputs,
+                  uint64_t max_instructions)
+{
+    unsigned per_in = kernelInputsPerWork(id);
+    unsigned per_out = kernelOutputsPerWork(id);
+    if (inputs.size() % per_in)
+        fatal("%s consumes %u inputs per work unit", kernelName(id),
+              per_in);
+    size_t work = inputs.size() / per_in;
+
+    Program prog = assemble(cfg.isa, kernelSource(id, cfg.isa));
+
+    FifoEnvironment io;
+    io.pushInputs(inputs);
+    std::unique_ptr<PagedEnvironment> paged;
+    Environment *env = &io;
+    if (prog.numPages() > 1) {
+        paged = std::make_unique<PagedEnvironment>(io);
+        env = paged.get();
+    }
+
+    CoreSim sim(cfg, prog, *env);
+    KernelRun run;
+    run.stop = sim.runUntilOutputs(
+        [&] { return io.outputs().size(); }, work * per_out,
+        max_instructions);
+    run.stats = sim.stats();
+    run.outputs = io.outputs();
+    run.staticInstructions = prog.staticInstructions();
+    run.codeSizeBits = prog.codeSizeBits();
+    run.pages = prog.numPages();
+    return run;
+}
+
+KernelRun
+runKernel(KernelId id, const TimingConfig &cfg, size_t work_units,
+          uint64_t seed, uint64_t max_instructions)
+{
+    return runKernelOnInputs(id, cfg, kernelInputs(id, work_units, seed),
+                             max_instructions);
+}
+
+} // namespace flexi

@@ -1,0 +1,54 @@
+/**
+ * @file
+ * End-to-end kernel execution harness.
+ *
+ * Assembles a kernel for the requested ISA, wires up the IO FIFO and
+ * (for multi-page programs) the off-chip MMU, runs the core until
+ * the expected number of outputs is produced, and reports both the
+ * output stream and the execution statistics the performance/energy
+ * experiments need (Figures 8 and 11).
+ */
+
+#ifndef FLEXI_KERNELS_RUNNER_HH
+#define FLEXI_KERNELS_RUNNER_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "kernels/kernels.hh"
+#include "sim/core_sim.hh"
+
+namespace flexi
+{
+
+/** Result of one kernel run. */
+struct KernelRun
+{
+    SimStats stats;
+    StopReason stop = StopReason::Budget;
+    std::vector<uint8_t> outputs;
+    /** Code-size metrics of the assembled program. */
+    size_t staticInstructions = 0;
+    size_t codeSizeBits = 0;
+    unsigned pages = 0;
+};
+
+/**
+ * Run @p work_units units of work of kernel @p id.
+ *
+ * @param cfg ISA and microarchitecture to simulate
+ * @param seed input-generation seed
+ * @param max_instructions dynamic instruction budget
+ */
+KernelRun runKernel(KernelId id, const TimingConfig &cfg,
+                    size_t work_units, uint64_t seed,
+                    uint64_t max_instructions = 4000000);
+
+/** As above with a caller-provided input stream. */
+KernelRun runKernelOnInputs(KernelId id, const TimingConfig &cfg,
+                            const std::vector<uint8_t> &inputs,
+                            uint64_t max_instructions = 4000000);
+
+} // namespace flexi
+
+#endif // FLEXI_KERNELS_RUNNER_HH

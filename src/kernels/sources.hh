@@ -1,0 +1,27 @@
+/**
+ * @file
+ * Internal: per-ISA kernel assembly sources.
+ */
+
+#ifndef FLEXI_KERNELS_SOURCES_HH
+#define FLEXI_KERNELS_SOURCES_HH
+
+#include <string>
+
+#include "kernels/kernels.hh"
+
+namespace flexi
+{
+
+/** Base FlexiCore4 ISA sources (Section 3.3's nine instructions). */
+std::string fc4Source(KernelId id);
+
+/** ExtAcc4 (revised op set, Section 6.1) sources. */
+std::string extSource(KernelId id);
+
+/** LoadStore4 (two-address, Section 6.2) sources. */
+std::string lsSource(KernelId id);
+
+} // namespace flexi
+
+#endif // FLEXI_KERNELS_SOURCES_HH

@@ -1,0 +1,275 @@
+#include "builder.hh"
+
+#include "common/logging.hh"
+
+namespace flexi
+{
+
+Builder
+Builder::scoped(const std::string &module) const
+{
+    return Builder(nl_, module);
+}
+
+NetId
+Builder::inv(NetId a)
+{
+    return nl_.addCell(CellType::INV_X1, {a}, module_);
+}
+
+NetId
+Builder::buf(NetId a)
+{
+    return nl_.addCell(CellType::BUF_X1, {a}, module_);
+}
+
+NetId
+Builder::nand2(NetId a, NetId b)
+{
+    return nl_.addCell(CellType::NAND2, {a, b}, module_);
+}
+
+NetId
+Builder::nand3(NetId a, NetId b, NetId c)
+{
+    return nl_.addCell(CellType::NAND3, {a, b, c}, module_);
+}
+
+NetId
+Builder::nor2(NetId a, NetId b)
+{
+    return nl_.addCell(CellType::NOR2, {a, b}, module_);
+}
+
+NetId
+Builder::nor3(NetId a, NetId b, NetId c)
+{
+    return nl_.addCell(CellType::NOR3, {a, b, c}, module_);
+}
+
+NetId
+Builder::and2(NetId a, NetId b)
+{
+    return inv(nand2(a, b));
+}
+
+NetId
+Builder::and3(NetId a, NetId b, NetId c)
+{
+    return inv(nand3(a, b, c));
+}
+
+NetId
+Builder::or2(NetId a, NetId b)
+{
+    return inv(nor2(a, b));
+}
+
+NetId
+Builder::or3(NetId a, NetId b, NetId c)
+{
+    return inv(nor3(a, b, c));
+}
+
+NetId
+Builder::xor2(NetId a, NetId b)
+{
+    return nl_.addCell(CellType::XOR2, {a, b}, module_);
+}
+
+NetId
+Builder::xnor2(NetId a, NetId b)
+{
+    return nl_.addCell(CellType::XNOR2, {a, b}, module_);
+}
+
+NetId
+Builder::mux2(NetId a, NetId b, NetId sel)
+{
+    return nl_.addCell(CellType::MUX2, {a, b, sel}, module_);
+}
+
+Word
+Builder::invWord(const Word &a)
+{
+    Word out;
+    out.reserve(a.size());
+    for (NetId n : a)
+        out.push_back(inv(n));
+    return out;
+}
+
+Word
+Builder::mux2Word(const Word &a, const Word &b, NetId sel)
+{
+    if (a.size() != b.size())
+        panic("mux2Word width mismatch");
+    Word out;
+    out.reserve(a.size());
+    for (size_t i = 0; i < a.size(); ++i)
+        out.push_back(mux2(a[i], b[i], sel));
+    return out;
+}
+
+Word
+Builder::mux4Word(const Word &in0, const Word &in1, const Word &in2,
+                  const Word &in3, NetId sel0, NetId sel1)
+{
+    Word lo = mux2Word(in0, in1, sel0);
+    Word hi = mux2Word(in2, in3, sel0);
+    return mux2Word(lo, hi, sel1);
+}
+
+NetId
+Builder::andReduce(const std::vector<NetId> &nets)
+{
+    if (nets.empty())
+        return nl_.one();
+    std::vector<NetId> cur = nets;
+    while (cur.size() > 1) {
+        std::vector<NetId> next;
+        size_t i = 0;
+        for (; i + 3 <= cur.size(); i += 3)
+            next.push_back(and3(cur[i], cur[i + 1], cur[i + 2]));
+        if (i + 2 <= cur.size()) {
+            next.push_back(and2(cur[i], cur[i + 1]));
+            i += 2;
+        }
+        if (i < cur.size())
+            next.push_back(cur[i]);
+        cur = std::move(next);
+    }
+    return cur[0];
+}
+
+NetId
+Builder::orReduce(const std::vector<NetId> &nets)
+{
+    if (nets.empty())
+        return nl_.zero();
+    std::vector<NetId> cur = nets;
+    while (cur.size() > 1) {
+        std::vector<NetId> next;
+        size_t i = 0;
+        for (; i + 3 <= cur.size(); i += 3)
+            next.push_back(or3(cur[i], cur[i + 1], cur[i + 2]));
+        if (i + 2 <= cur.size()) {
+            next.push_back(or2(cur[i], cur[i + 1]));
+            i += 2;
+        }
+        if (i < cur.size())
+            next.push_back(cur[i]);
+        cur = std::move(next);
+    }
+    return cur[0];
+}
+
+Builder::AdderOut
+Builder::rippleAdder(const Word &a, const Word &b, NetId cin)
+{
+    if (a.size() != b.size())
+        panic("rippleAdder width mismatch");
+    AdderOut out;
+    NetId carry = cin;
+    for (size_t i = 0; i < a.size(); ++i) {
+        NetId p = xor2(a[i], b[i]);
+        NetId gn = nand2(a[i], b[i]);        // ~(a & b): NAND for free
+        NetId s = xor2(p, carry);
+        NetId t = nand2(p, carry);
+        // cout = (a & b) | (p & cin) = NAND(gn, t)
+        carry = nand2(gn, t);
+        out.sum.push_back(s);
+        out.propagate.push_back(p);
+        out.nandOut.push_back(gn);
+    }
+    out.carryOut = carry;
+    return out;
+}
+
+Word
+Builder::incrementer(const Word &a)
+{
+    Word out;
+    NetId carry = kNoNet;
+    for (size_t i = 0; i < a.size(); ++i) {
+        if (i == 0) {
+            out.push_back(inv(a[0]));
+            carry = a[0];
+        } else {
+            out.push_back(xor2(a[i], carry));
+            if (i + 1 < a.size())
+                carry = and2(a[i], carry);
+        }
+    }
+    return out;
+}
+
+Word
+Builder::registerWord(const Word &d, NetId we, bool x2)
+{
+    Word q = dffWord(d.size(), x2);
+    connectRegister(q, d, we);
+    return q;
+}
+
+Word
+Builder::dffWord(size_t width, bool x2, unsigned init)
+{
+    Word q;
+    q.reserve(width);
+    for (size_t i = 0; i < width; ++i)
+        q.push_back(nl_.addDff(kNoNet, module_, (init >> i) & 1, x2));
+    return q;
+}
+
+void
+Builder::connectDff(const Word &q, const Word &d)
+{
+    if (q.size() != d.size())
+        panic("connectDff width mismatch");
+    for (size_t i = 0; i < q.size(); ++i)
+        nl_.setDffInput(q[i], d[i]);
+}
+
+void
+Builder::connectRegister(const Word &q, const Word &d, NetId we)
+{
+    if (q.size() != d.size())
+        panic("connectRegister width mismatch");
+    for (size_t i = 0; i < q.size(); ++i)
+        nl_.setDffInput(q[i], mux2(q[i], d[i], we));
+}
+
+std::vector<NetId>
+Builder::decodeOneHot(const Word &sel)
+{
+    size_t n = size_t{1} << sel.size();
+    Word inv_sel = invWord(sel);
+    std::vector<NetId> out;
+    out.reserve(n);
+    for (size_t v = 0; v < n; ++v) {
+        std::vector<NetId> terms;
+        for (size_t b = 0; b < sel.size(); ++b)
+            terms.push_back((v >> b) & 1 ? sel[b] : inv_sel[b]);
+        out.push_back(andReduce(terms));
+    }
+    return out;
+}
+
+Word
+Builder::muxTree(const std::vector<Word> &words, const Word &sel)
+{
+    if (words.size() != (size_t{1} << sel.size()))
+        panic("muxTree: %zu words need %zu select bits", words.size(),
+              sel.size());
+    std::vector<Word> cur = words;
+    for (size_t level = 0; level < sel.size(); ++level) {
+        std::vector<Word> next;
+        for (size_t i = 0; i + 1 < cur.size(); i += 2)
+            next.push_back(mux2Word(cur[i], cur[i + 1], sel[level]));
+        cur = std::move(next);
+    }
+    return cur[0];
+}
+
+} // namespace flexi

@@ -1,0 +1,116 @@
+/**
+ * @file
+ * Word-level construction helpers over Netlist.
+ *
+ * These compose the 13 library cells into the structures the
+ * FlexiCore microarchitecture needs: inverter-based logic ops, wide
+ * multiplexers, registers, decoders, and — centrally — the ripple
+ * carry adder whose per-bit propagate (XOR) and generate (NAND)
+ * signals provide the XOR and NAND ALU functions as free side
+ * effects (Section 3.4, Figure 3b).
+ */
+
+#ifndef FLEXI_NETLIST_BUILDER_HH
+#define FLEXI_NETLIST_BUILDER_HH
+
+#include <string>
+#include <vector>
+
+#include "netlist/netlist.hh"
+
+namespace flexi
+{
+
+/** A little-endian bundle of nets (bit 0 first). */
+using Word = std::vector<NetId>;
+
+/** Construction facade bound to a netlist and a module tag. */
+class Builder
+{
+  public:
+    Builder(Netlist &nl, std::string module)
+        : nl_(nl), module_(std::move(module))
+    {}
+
+    /** Re-scope to a different module tag. */
+    Builder scoped(const std::string &module) const;
+
+    /** @name Single-bit gates */
+    ///@{
+    NetId inv(NetId a);
+    NetId buf(NetId a);
+    NetId nand2(NetId a, NetId b);
+    NetId nand3(NetId a, NetId b, NetId c);
+    NetId nor2(NetId a, NetId b);
+    NetId nor3(NetId a, NetId b, NetId c);
+    NetId and2(NetId a, NetId b);
+    NetId and3(NetId a, NetId b, NetId c);
+    NetId or2(NetId a, NetId b);
+    NetId or3(NetId a, NetId b, NetId c);
+    NetId xor2(NetId a, NetId b);
+    NetId xnor2(NetId a, NetId b);
+    /** sel ? b : a */
+    NetId mux2(NetId a, NetId b, NetId sel);
+    ///@}
+
+    /** @name Word-level operators */
+    ///@{
+    Word invWord(const Word &a);
+    Word mux2Word(const Word &a, const Word &b, NetId sel);
+    /** 4:1 mux from two select bits (three MUX2 per bit). */
+    Word mux4Word(const Word &in0, const Word &in1, const Word &in2,
+                  const Word &in3, NetId sel0, NetId sel1);
+    /** Wide AND / OR reduction trees. */
+    NetId andReduce(const std::vector<NetId> &nets);
+    NetId orReduce(const std::vector<NetId> &nets);
+    ///@}
+
+    /** Ripple-carry adder result with the ALU side-effect words. */
+    struct AdderOut
+    {
+        Word sum;
+        Word propagate;   ///< per-bit a XOR b (the XOR function)
+        Word nandOut;     ///< per-bit NAND(a, b) (the NAND function)
+        NetId carryOut = kNoNet;
+    };
+
+    /**
+     * Ripple-carry adder (Figure 3b): per bit two XOR2 and three
+     * NAND2 cells; XOR and NAND fall out of the propagate/generate
+     * terms without extra gates.
+     */
+    AdderOut rippleAdder(const Word &a, const Word &b, NetId cin);
+
+    /** Incrementer for the program counter (half-adder chain). */
+    Word incrementer(const Word &a);
+
+    /** A bank of DFFs with a shared write-enable (Q = we ? d : Q). */
+    Word registerWord(const Word &d, NetId we, bool x2 = false);
+
+    /**
+     * Allocate DFFs with a placeholder D input, to be wired later
+     * with connectDff()/connectRegister(). Needed for state that
+     * feeds its own next-value logic (PC, ACC).
+     */
+    Word dffWord(size_t width, bool x2 = false, unsigned init = 0);
+    /** Wire Q's D input directly to d (state written every cycle). */
+    void connectDff(const Word &q, const Word &d);
+    /** Wire a hold loop: D = we ? d : Q. */
+    void connectRegister(const Word &q, const Word &d, NetId we);
+
+    /** n-to-2^n one-hot decoder. */
+    std::vector<NetId> decodeOneHot(const Word &sel);
+
+    /** 2^k : 1 word multiplexer (binary tree of MUX2). */
+    Word muxTree(const std::vector<Word> &words, const Word &sel);
+
+    Netlist &netlist() { return nl_; }
+
+  private:
+    Netlist &nl_;
+    std::string module_;
+};
+
+} // namespace flexi
+
+#endif // FLEXI_NETLIST_BUILDER_HH

@@ -1,0 +1,238 @@
+/**
+ * @file
+ * Structural single-cycle ExtAcc4 netlist (wide program bus).
+ *
+ * This is the gate-level realization of the Section 6.1 revised op
+ * set — the FlexiCore4+ class of dies (Figure 4c): the FlexiCore4
+ * skeleton plus operand inversion and carry chain reuse for
+ * adc/sub/swb/neg, OR from the adder's propagate/generate side
+ * effects, a 3-stage barrel shifter, nzp branch evaluation, and a
+ * return-address register. It validates the DSE area model against
+ * a real netlist and extends the lockstep equivalence checks to the
+ * extended ISA.
+ *
+ * Pin interface: 16-bit INSTR bus (both bytes of a two-byte
+ * branch/call arrive together — the 'wide bus' configuration of
+ * Section 6.2), IPORT, PC and OPORT pads as on FlexiCore4.
+ */
+
+#include "common/logging.hh"
+#include "netlist/builder.hh"
+#include "netlist/flexicore_netlist.hh"
+
+namespace flexi
+{
+
+std::unique_ptr<Netlist>
+buildExtAcc4Netlist()
+{
+    auto nl = std::make_unique<Netlist>("ExtAcc4-SC");
+    Builder top(*nl, "core");
+    Builder dec = top.scoped("dec");
+    Builder alu = top.scoped("alu");
+    Builder mem = top.scoped("mem");
+    Builder pcb = top.scoped("pc");
+    Builder accb = top.scoped("acc");
+    Builder ctl = top.scoped("ctl");
+
+    constexpr unsigned W = 4;
+    constexpr unsigned NWORDS = 8;
+
+    Word instr;
+    for (unsigned i = 0; i < 16; ++i)
+        instr.push_back(nl->addInput("instr" + std::to_string(i)));
+    Word iport;
+    for (unsigned i = 0; i < W; ++i)
+        iport.push_back(nl->addInput("iport" + std::to_string(i)));
+
+    // Architectural state.
+    Word pc = pcb.dffWord(7);
+    Word acc = accb.dffWord(W);
+    Word carry_q = ctl.dffWord(1);
+    NetId carry = carry_q[0];
+    Word ret = ctl.dffWord(7);
+    Word oport = mem.dffWord(W);
+    std::vector<Word> words(NWORDS);
+    words[0] = iport;
+    words[1] = oport;
+    for (unsigned w = 2; w < NWORDS; ++w)
+        words[w] = mem.dffWord(W);
+
+    // ---- Decode. ----
+    NetId i7n = dec.inv(instr[7]);
+    NetId i6n = dec.inv(instr[6]);
+    NetId is_m = dec.and2(i7n, i6n);
+    NetId is_i = dec.and2(i7n, instr[6]);
+    NetId is_t = dec.and2(instr[7], i6n);
+    NetId is_bc = dec.and2(instr[7], instr[6]);
+    NetId is_br = dec.and2(is_bc, dec.inv(instr[5]));
+    NetId is_call = dec.and2(is_bc, instr[5]);
+
+    Word sss = {instr[3], instr[4], instr[5]};
+    std::vector<NetId> hot = dec.decodeOneHot(sss);
+    auto mop = [&](unsigned k) { return dec.and2(is_m, hot[k]); };
+    auto iop = [&](unsigned k) { return dec.and2(is_i, hot[k]); };
+    auto top_ = [&](unsigned k) { return dec.and2(is_t, hot[k]); };
+
+    // Named ops.
+    NetId t_load = top_(0), t_store = top_(1), t_neg = top_(2);
+    NetId t_ret = top_(3), t_asr = top_(4), t_lsr = top_(5);
+    NetId i_asr = iop(5), i_lsr = iop(6), i_li = iop(7);
+    NetId m_xch = mop(7);
+    // add/adc/sub/swb (M 0-3) and add/adc (I 0-1).
+    NetId m_arith = dec.and2(is_m, dec.inv(instr[5]));
+    NetId i_addadc = dec.and3(is_i, dec.inv(instr[5]),
+                              dec.inv(instr[4]));
+    NetId arith = dec.or2(m_arith, i_addadc);
+    NetId m_sub_swb = dec.and3(is_m, dec.inv(instr[5]), instr[4]);
+    NetId use_carry_in = dec.or2(
+        dec.and2(arith, instr[3]),              // adc / swb
+        nl->zero());
+    NetId force_cin = dec.or2(
+        dec.and2(m_sub_swb, dec.inv(instr[3])), // sub
+        t_neg);                                 // neg (0 - acc)
+    NetId invert_b = dec.or2(m_sub_swb, t_neg);
+
+    NetId is_shift = dec.or2(dec.or2(i_asr, i_lsr),
+                             dec.or2(t_asr, t_lsr));
+    NetId shift_arith = dec.or2(i_asr, t_asr);
+    NetId is_and = dec.or2(mop(4), iop(2));
+    NetId is_or = dec.or2(mop(5), iop(3));
+    NetId is_xor = dec.or2(mop(6), iop(4));
+    NetId is_pass = dec.or2(dec.or2(m_xch, i_li), t_load);
+
+    // ---- Data memory read. ----
+    Word addr = {instr[0], instr[1], instr[2]};
+    Word rdata = mem.muxTree(words, addr);
+
+    // ---- Operand: memory vs (sign/zero-extended) immediate. ----
+    NetId imm_hi = alu.and2(instr[2], i_addadc);   // sign-extend
+    Word imm = {instr[0], instr[1], instr[2], imm_hi};
+    Word operand = alu.mux2Word(rdata, imm, is_i);
+
+    // ---- Adder with operand inversion and carry-in select. ----
+    // x = acc (0 for neg); y = operand, optionally inverted; for neg
+    // the inverted *accumulator* is routed through the operand path.
+    Word zero_w(W, nl->zero());
+    Word x = alu.mux2Word(acc, zero_w, t_neg);
+    Word y_src = alu.mux2Word(operand, acc, t_neg);
+    Word y;
+    for (unsigned i = 0; i < W; ++i)
+        y.push_back(alu.mux2(y_src[i], alu.inv(y_src[i]), invert_b));
+    NetId cin = alu.mux2(alu.and2(use_carry_in, carry),
+                         nl->one(), force_cin);
+    Builder::AdderOut add = alu.rippleAdder(x, y, cin);
+
+    // AND / OR / XOR from the adder side effects (Section 3.4,
+    // extended: or = p | (a & b)).
+    Word and_w, or_w;
+    for (unsigned i = 0; i < W; ++i) {
+        NetId andv = alu.inv(add.nandOut[i]);
+        and_w.push_back(andv);
+        or_w.push_back(alu.nand2(alu.inv(add.propagate[i]),
+                                 add.nandOut[i]));
+    }
+
+    // ---- Barrel shifter (3 stages; amounts 0-7 mod width). ----
+    Word amt = {alu.mux2(instr[0], nl->one(), is_t),
+                alu.and2(instr[1], is_i),
+                alu.and2(instr[2], is_i)};
+    NetId fill = alu.and2(shift_arith, acc[W - 1]);
+    Word s1 = {alu.mux2(acc[0], acc[1], amt[0]),
+               alu.mux2(acc[1], acc[2], amt[0]),
+               alu.mux2(acc[2], acc[3], amt[0]),
+               alu.mux2(acc[3], fill, amt[0])};
+    Word s2 = {alu.mux2(s1[0], s1[2], amt[1]),
+               alu.mux2(s1[1], s1[3], amt[1]),
+               alu.mux2(s1[2], fill, amt[1]),
+               alu.mux2(s1[3], fill, amt[1])};
+    Word shift_w;
+    for (unsigned i = 0; i < W; ++i)
+        shift_w.push_back(alu.mux2(s2[i], fill, amt[2]));
+    // Carry out of a shift: the last bit shifted out — acc[amt-1]
+    // for amounts 1-4, the fill bit for amounts >= 5 (everything
+    // real has been shifted through by then).
+    NetId odd_c = alu.mux2(acc[0], acc[2], amt[1]);    // amt 1 / 3
+    NetId even_c = alu.mux2(acc[1], acc[3], amt[2]);   // amt 2 / 4
+    NetId sh_low = alu.mux2(even_c, odd_c, amt[0]);
+    NetId ge5 = alu.and2(amt[2], alu.or2(amt[1], amt[0]));
+    NetId sh_c = alu.mux2(sh_low, fill, ge5);
+
+    // ---- Result mux tree. ----
+    Word logic_or_xor = alu.mux2Word(or_w, add.propagate, is_xor);
+    Word logic_w = alu.mux2Word(logic_or_xor, and_w, is_and);
+    NetId use_logic = alu.or2(alu.or2(is_and, is_or), is_xor);
+    Word arith_or_logic = alu.mux2Word(add.sum, logic_w, use_logic);
+    Word pass_or_shift = alu.mux2Word(operand, shift_w, is_shift);
+    NetId use_ps = alu.or2(is_pass, is_shift);
+    Word result = alu.mux2Word(arith_or_logic, pass_or_shift, use_ps);
+
+    // ---- Write enables. ----
+    NetId addsub_any = dec.or2(arith, t_neg);
+    NetId acc_we = dec.or2(
+        dec.or2(is_m, is_i),
+        dec.or3(t_load, t_neg, dec.or2(t_asr, t_lsr)));
+    NetId mem_we = dec.or2(m_xch, t_store);
+    NetId amt_nz = dec.or3(amt[0], amt[1], amt[2]);
+    NetId carry_we = dec.or2(addsub_any,
+                             dec.and2(is_shift, amt_nz));
+    NetId carry_next = ctl.mux2(add.carryOut, sh_c, is_shift);
+    ctl.connectRegister(carry_q, {carry_next}, carry_we);
+
+    accb.connectRegister(acc, result, acc_we);
+
+    // ---- Data memory write (din is always ACC). ----
+    std::vector<NetId> onehot = mem.decodeOneHot(addr);
+    for (unsigned w = 1; w < NWORDS; ++w) {
+        NetId we = mem.and2(onehot[w], mem_we);
+        mem.connectRegister(words[w], acc, we);
+    }
+
+    // ---- Branch / call / ret and the PC. ----
+    NetId n_flag = acc[W - 1];
+    NetId z_flag = pcb.andReduce(
+        {pcb.inv(acc[0]), pcb.inv(acc[1]), pcb.inv(acc[2]),
+         pcb.inv(acc[3])});
+    NetId p_flag = pcb.and2(pcb.inv(n_flag), pcb.inv(z_flag));
+    NetId cond = pcb.or3(pcb.and2(instr[4], n_flag),
+                         pcb.and2(instr[3], z_flag),
+                         pcb.and2(instr[2], p_flag));
+    NetId br_taken = pcb.and2(is_br, cond);
+    NetId redirect = pcb.or2(br_taken, is_call);
+
+    Word inc1 = pcb.incrementer(pc);
+    Word inc2 = pcb.incrementer(inc1);
+    Word inc = pcb.mux2Word(inc1, inc2, is_bc);
+    Word target = {instr[8], instr[9], instr[10], instr[11],
+                   instr[12], instr[13], instr[14]};
+    Word pc_seq = pcb.mux2Word(inc, target, redirect);
+    Word pc_next = pcb.mux2Word(pc_seq, ret, t_ret);
+    pcb.connectDff(pc, pc_next);
+
+    // Return register captures the post-call PC.
+    ctl.connectRegister(ret, inc2, is_call);
+
+    // ---- Pads. ----
+    Builder io = top.scoped("core");
+    Word pc_pad, oport_pad;
+    for (unsigned i = 0; i < 7; ++i)
+        pc_pad.push_back(io.netlist().addCell(
+            CellType::BUF_X2, {pc[i]}, "core"));
+    for (unsigned i = 0; i < W; ++i)
+        oport_pad.push_back(io.netlist().addCell(
+            CellType::BUF_X2, {oport[i]}, "core"));
+    for (NetId in : instr)
+        io.buf(in);
+    for (NetId in : iport)
+        io.buf(in);
+
+    for (unsigned i = 0; i < 7; ++i)
+        nl->addOutput("pc" + std::to_string(i), pc_pad[i]);
+    for (unsigned i = 0; i < W; ++i)
+        nl->addOutput("oport" + std::to_string(i), oport_pad[i]);
+
+    nl->elaborate();
+    return nl;
+}
+
+} // namespace flexi

@@ -1,0 +1,128 @@
+/**
+ * @file
+ * Structural FlexiCore4 (Figure 3 of the paper).
+ *
+ * The microarchitectural tricks the paper describes are implemented
+ * literally:
+ *  - instruction bits 5:4 wire straight to the ALU output mux and
+ *    bit 6 to the operand mux (no decoder PLA);
+ *  - the ripple-carry adder's propagate terms are the XOR function
+ *    and its generate-NAND terms are the NAND function, for free;
+ *  - the data memory is single-ported, with the input bus at word 0
+ *    and the output latch at word 1;
+ *  - there is no controller state at all (Section 3.3).
+ */
+
+#include "common/logging.hh"
+#include "netlist/builder.hh"
+#include "netlist/flexicore_netlist.hh"
+
+namespace flexi
+{
+
+std::unique_ptr<Netlist>
+buildFlexiCore4Netlist()
+{
+    auto nl = std::make_unique<Netlist>("FlexiCore4");
+    Builder top(*nl, "core");
+    Builder dec = top.scoped("dec");
+    Builder alu = top.scoped("alu");
+    Builder mem = top.scoped("mem");
+    Builder pcb = top.scoped("pc");
+    Builder accb = top.scoped("acc");
+
+    constexpr unsigned W = 4;     // datapath width
+    constexpr unsigned NWORDS = 8;
+
+    // Primary inputs.
+    Word instr;
+    for (unsigned i = 0; i < 8; ++i)
+        instr.push_back(nl->addInput("instr" + std::to_string(i)));
+    Word iport;
+    for (unsigned i = 0; i < W; ++i)
+        iport.push_back(nl->addInput("iport" + std::to_string(i)));
+
+    // Architectural state (allocated first; next-state wired below).
+    Word pc = pcb.dffWord(7);
+    Word acc = accb.dffWord(W);
+    Word oport = mem.dffWord(W);          // memory word 1 (output bus)
+    std::vector<Word> words(NWORDS);
+    words[0] = iport;                     // word 0 reads the input bus
+    words[1] = oport;
+    for (unsigned w = 2; w < NWORDS; ++w)
+        words[w] = mem.dffWord(W);
+
+    // ---- Decode (Section 3.3: near-zero decode logic). ----
+    NetId i7n = dec.inv(instr[7]);
+    NetId i6n = dec.inv(instr[6]);
+    NetId op11 = dec.and2(instr[5], instr[4]);
+    // T-form store: 00 11 1 addr.
+    NetId tform = dec.and3(i7n, i6n, op11);
+    NetId store_en = dec.and2(tform, instr[3]);
+    // ACC writes on every non-branch, non-store instruction.
+    NetId acc_we = dec.and2(i7n, dec.inv(store_en));
+    NetId mem_we = store_en;
+
+    // ---- Data memory read port (single port). ----
+    Word addr = {instr[0], instr[1], instr[2]};
+    Word rdata = mem.muxTree(words, addr);
+
+    // ---- Operand mux: immediate vs memory (instruction bit 6). ----
+    Word imm = {instr[0], instr[1], instr[2], instr[3]};
+    Word operand = alu.mux2Word(rdata, imm, instr[6]);
+
+    // ---- ALU (Figure 3b). ----
+    Builder::AdderOut add = alu.rippleAdder(acc, operand, nl->zero());
+    // Output mux: 00 add, 01 nand, 10 xor, 11 pass-operand.
+    Word alu_out = alu.mux4Word(add.sum, add.nandOut, add.propagate,
+                                operand, instr[4], instr[5]);
+
+    // ---- Accumulator. ----
+    accb.connectRegister(acc, alu_out, acc_we);
+
+    // ---- Data memory write port. ----
+    std::vector<NetId> onehot = mem.decodeOneHot(addr);
+    // Word 0 (input bus) has no storage; word 1 is the output latch.
+    for (unsigned w = 1; w < NWORDS; ++w) {
+        NetId we = mem.and2(onehot[w], mem_we);
+        mem.connectRegister(words[w], acc, we);
+    }
+
+    // ---- PC and branch logic. ----
+    NetId taken = pcb.and2(instr[7], acc[W - 1]);
+    Word inc = pcb.incrementer(pc);
+    Word target = {instr[0], instr[1], instr[2], instr[3],
+                   instr[4], instr[5], instr[6]};
+    Word pc_next = pcb.mux2Word(inc, target, taken);
+    pcb.connectDff(pc, pc_next);
+
+    // Pad drivers and clock distribution (module "core": the real
+    // design buffers every output pad and distributes the clock to
+    // all 39 flops; these cells contribute area and static power but
+    // sit outside the logic paths compared on the pads).
+    Builder io = top.scoped("core");
+    Word pc_pad, oport_pad;
+    for (unsigned i = 0; i < 7; ++i)
+        pc_pad.push_back(io.netlist().addCell(
+            CellType::BUF_X2, {pc[i]}, "core"));
+    for (unsigned i = 0; i < W; ++i)
+        oport_pad.push_back(io.netlist().addCell(
+            CellType::BUF_X2, {oport[i]}, "core"));
+    // Pad receivers on the input ring (ESD-protected inputs have a
+    // buffer stage; modeled for area/power, fanout not re-routed).
+    for (NetId in : instr)
+        io.buf(in);
+    for (NetId in : iport)
+        io.buf(in);
+
+    // Primary outputs.
+    for (unsigned i = 0; i < 7; ++i)
+        nl->addOutput("pc" + std::to_string(i), pc_pad[i]);
+    for (unsigned i = 0; i < W; ++i)
+        nl->addOutput("oport" + std::to_string(i), oport_pad[i]);
+
+    nl->elaborate();
+    return nl;
+}
+
+} // namespace flexi

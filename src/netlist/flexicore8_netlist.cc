@@ -1,0 +1,136 @@
+/**
+ * @file
+ * Structural FlexiCore8.
+ *
+ * Identical organization to FlexiCore4 with an 8-bit datapath and a
+ * 4 x 8-bit data memory, plus the one piece of controller state in
+ * the whole design: the LOAD BYTE flag flip-flop (Section 3.4). When
+ * the exact prefix byte 0b00001000 is fetched the flag sets; on the
+ * following cycle the byte on the instruction bus is captured into
+ * the accumulator verbatim and all other side effects are
+ * suppressed.
+ */
+
+#include "common/logging.hh"
+#include "netlist/builder.hh"
+#include "netlist/flexicore_netlist.hh"
+
+namespace flexi
+{
+
+std::unique_ptr<Netlist>
+buildFlexiCore8Netlist()
+{
+    auto nl = std::make_unique<Netlist>("FlexiCore8");
+    Builder top(*nl, "core");
+    Builder dec = top.scoped("dec");
+    Builder alu = top.scoped("alu");
+    Builder mem = top.scoped("mem");
+    Builder pcb = top.scoped("pc");
+    Builder accb = top.scoped("acc");
+
+    constexpr unsigned W = 8;
+    constexpr unsigned NWORDS = 4;
+
+    Word instr;
+    for (unsigned i = 0; i < 8; ++i)
+        instr.push_back(nl->addInput("instr" + std::to_string(i)));
+    Word iport;
+    for (unsigned i = 0; i < W; ++i)
+        iport.push_back(nl->addInput("iport" + std::to_string(i)));
+
+    Word pc = pcb.dffWord(7);
+    Word acc = accb.dffWord(W);
+    Word oport = mem.dffWord(W);
+    std::vector<Word> words(NWORDS);
+    words[0] = iport;
+    words[1] = oport;
+    words[2] = mem.dffWord(W);
+    words[3] = mem.dffWord(W);
+
+    // ---- LOAD BYTE controller (the single flag flip-flop). ----
+    Word flag_q = dec.dffWord(1);
+    NetId flag = flag_q[0];
+    NetId flag_n = dec.inv(flag);
+    // Exact match of 0b00001000.
+    NetId prefix = dec.andReduce({
+        dec.inv(instr[7]), dec.inv(instr[6]), dec.inv(instr[5]),
+        dec.inv(instr[4]), instr[3], dec.inv(instr[2]),
+        dec.inv(instr[1]), dec.inv(instr[0])});
+    // Set on prefix fetch, clear after the data byte.
+    NetId flag_d = dec.and2(prefix, flag_n);
+    dec.connectDff(flag_q, {flag_d});
+    // The prefix cycle must not execute as an instruction either.
+    NetId squash = dec.or2(flag, prefix);
+    NetId squash_n = dec.inv(squash);
+
+    // ---- Decode. ----
+    NetId i7n = dec.inv(instr[7]);
+    NetId i6n = dec.inv(instr[6]);
+    NetId op11 = dec.and2(instr[5], instr[4]);
+    NetId tform = dec.and3(i7n, i6n, op11);
+    NetId store_en = dec.and3(tform, instr[3], squash_n);
+    NetId acc_alu_we =
+        dec.and3(i7n, dec.inv(store_en), squash_n);
+    // ACC captures the raw bus on the data cycle of LOAD BYTE.
+    NetId acc_we = dec.or2(acc_alu_we, flag);
+    NetId mem_we = store_en;
+
+    // ---- Data memory. ----
+    Word addr = {instr[0], instr[1]};
+    Word rdata = mem.muxTree(words, addr);
+
+    // Sign-extended 4-bit immediate (wiring only).
+    Word imm = {instr[0], instr[1], instr[2], instr[3],
+                instr[3], instr[3], instr[3], instr[3]};
+    Word operand = alu.mux2Word(rdata, imm, instr[6]);
+
+    // ---- ALU. ----
+    Builder::AdderOut add = alu.rippleAdder(acc, operand, nl->zero());
+    Word alu_out = alu.mux4Word(add.sum, add.nandOut, add.propagate,
+                                operand, instr[4], instr[5]);
+
+    // ---- Accumulator: ALU result, or the raw instruction bus on a
+    //      LOAD BYTE data cycle. ----
+    Word acc_in = accb.mux2Word(alu_out, instr, flag);
+    accb.connectRegister(acc, acc_in, acc_we);
+
+    // ---- Memory write port. ----
+    std::vector<NetId> onehot = mem.decodeOneHot(addr);
+    for (unsigned w = 1; w < NWORDS; ++w) {
+        NetId we = mem.and2(onehot[w], mem_we);
+        mem.connectRegister(words[w], acc, we);
+    }
+
+    // ---- PC. ----
+    NetId taken = pcb.and3(instr[7], acc[W - 1], squash_n);
+    Word inc = pcb.incrementer(pc);
+    Word target = {instr[0], instr[1], instr[2], instr[3],
+                   instr[4], instr[5], instr[6]};
+    Word pc_next = pcb.mux2Word(inc, target, taken);
+    pcb.connectDff(pc, pc_next);
+
+    // Pad drivers / receivers (see the FlexiCore4 generator).
+    Builder io = top.scoped("core");
+    Word pc_pad, oport_pad;
+    for (unsigned i = 0; i < 7; ++i)
+        pc_pad.push_back(io.netlist().addCell(
+            CellType::BUF_X2, {pc[i]}, "core"));
+    for (unsigned i = 0; i < W; ++i)
+        oport_pad.push_back(io.netlist().addCell(
+            CellType::BUF_X2, {oport[i]}, "core"));
+    for (NetId in : instr)
+        io.buf(in);
+    for (NetId in : iport)
+        io.buf(in);
+
+    for (unsigned i = 0; i < 7; ++i)
+        nl->addOutput("pc" + std::to_string(i), pc_pad[i]);
+    for (unsigned i = 0; i < W; ++i)
+        nl->addOutput("oport" + std::to_string(i), oport_pad[i]);
+
+    nl->elaborate();
+    return nl;
+}
+
+} // namespace flexi

@@ -1,0 +1,218 @@
+/**
+ * @file
+ * Structural single-cycle LoadStore4 netlist (wide 16-bit program
+ * bus) — the two-address DSE machine of Section 6.2.
+ *
+ * The defining structural difference from the accumulator cores is
+ * visible here: the register file needs a *second read port* (rd and
+ * rs are read concurrently), there is no accumulator, and branch
+ * conditions come from an architectural flags-source register that
+ * captures every written result. PC counts 16-bit words.
+ */
+
+#include "common/logging.hh"
+#include "netlist/builder.hh"
+#include "netlist/flexicore_netlist.hh"
+
+namespace flexi
+{
+
+namespace
+{
+
+/** op5 encodings (mirrors encoding_ls.cc). */
+enum : unsigned
+{
+    LS_ADD = 0, LS_ADC, LS_SUB, LS_SWB, LS_AND, LS_OR, LS_XOR,
+    LS_MOV, LS_NEG, LS_ASR, LS_LSR,
+    LS_ADDI, LS_ADCI, LS_ANDI, LS_ORI, LS_XORI, LS_MOVI,
+    LS_ASRI, LS_LSRI,
+    LS_BR, LS_CALL, LS_RET,
+};
+
+} // namespace
+
+std::unique_ptr<Netlist>
+buildLoadStore4Netlist()
+{
+    auto nl = std::make_unique<Netlist>("LoadStore4-SC");
+    Builder top(*nl, "core");
+    Builder dec = top.scoped("dec");
+    Builder alu = top.scoped("alu");
+    Builder mem = top.scoped("mem");
+    Builder pcb = top.scoped("pc");
+    Builder flg = top.scoped("acc");    // flags take the acc slot
+    Builder ctl = top.scoped("ctl");
+
+    constexpr unsigned W = 4;
+    constexpr unsigned NWORDS = 8;
+
+    Word instr;
+    for (unsigned i = 0; i < 16; ++i)
+        instr.push_back(nl->addInput("instr" + std::to_string(i)));
+    Word iport;
+    for (unsigned i = 0; i < W; ++i)
+        iport.push_back(nl->addInput("iport" + std::to_string(i)));
+
+    Word pc = pcb.dffWord(7);
+    Word flags_val = flg.dffWord(W);    // last written result
+    Word carry_q = ctl.dffWord(1);
+    NetId carry = carry_q[0];
+    Word ret = ctl.dffWord(7);
+    Word oport = mem.dffWord(W);
+    std::vector<Word> words(NWORDS);
+    words[0] = iport;
+    words[1] = oport;
+    for (unsigned w = 2; w < NWORDS; ++w)
+        words[w] = mem.dffWord(W);
+
+    // ---- Decode: one-hot over op5. ----
+    Word op5 = {instr[11], instr[12], instr[13], instr[14],
+                instr[15]};
+    std::vector<NetId> hot = dec.decodeOneHot(op5);
+    auto any = [&](std::initializer_list<unsigned> ops) {
+        std::vector<NetId> nets;
+        for (unsigned o : ops)
+            nets.push_back(hot[o]);
+        return dec.orReduce(nets);
+    };
+
+    NetId is_imm = any({LS_ADDI, LS_ADCI, LS_ANDI, LS_ORI, LS_XORI,
+                        LS_MOVI, LS_ASRI, LS_LSRI});
+    NetId is_arith = any({LS_ADD, LS_ADC, LS_SUB, LS_SWB, LS_ADDI,
+                          LS_ADCI});
+    NetId use_cin = any({LS_ADC, LS_ADCI, LS_SWB});
+    NetId is_sub_swb = any({LS_SUB, LS_SWB});
+    NetId is_neg = hot[LS_NEG];
+    NetId is_and = any({LS_AND, LS_ANDI});
+    NetId is_or = any({LS_OR, LS_ORI});
+    NetId is_xor = any({LS_XOR, LS_XORI});
+    NetId is_mov = any({LS_MOV, LS_MOVI});
+    NetId is_shift = any({LS_ASR, LS_LSR, LS_ASRI, LS_LSRI});
+    NetId shift_arith = any({LS_ASR, LS_ASRI});
+    NetId is_br = hot[LS_BR];
+    NetId is_call = hot[LS_CALL];
+    NetId is_ret = hot[LS_RET];
+    NetId rd_we = any({LS_ADD, LS_ADC, LS_SUB, LS_SWB, LS_AND,
+                       LS_OR, LS_XOR, LS_MOV, LS_NEG, LS_ASR, LS_LSR,
+                       LS_ADDI, LS_ADCI, LS_ANDI, LS_ORI, LS_XORI,
+                       LS_MOVI, LS_ASRI, LS_LSRI});
+
+    // ---- Register file: two read ports (the Section 3.5 cost). ----
+    Word rd_addr = {instr[8], instr[9], instr[10]};
+    Word rs_addr = {instr[5], instr[6], instr[7]};
+    Word rd_val = mem.muxTree(words, rd_addr);
+    Word rs_val = mem.muxTree(words, rs_addr);
+
+    Word imm = {instr[1], instr[2], instr[3], instr[4]};
+    Word b_op = alu.mux2Word(rs_val, imm, is_imm);
+
+    // ---- Adder (x = rd or 0 for neg; y optionally inverted). ----
+    Word zero_w(W, nl->zero());
+    Word x = alu.mux2Word(rd_val, zero_w, is_neg);
+    Word y_src = alu.mux2Word(b_op, rd_val, is_neg);
+    NetId invert = alu.or2(is_sub_swb, is_neg);
+    Word y;
+    for (unsigned i = 0; i < W; ++i)
+        y.push_back(alu.mux2(y_src[i], alu.inv(y_src[i]), invert));
+    NetId force_cin = alu.or2(hot[LS_SUB], is_neg);
+    NetId cin = alu.mux2(alu.and2(use_cin, carry), nl->one(),
+                         force_cin);
+    Builder::AdderOut add = alu.rippleAdder(x, y, cin);
+
+    Word and_w, or_w;
+    for (unsigned i = 0; i < W; ++i) {
+        and_w.push_back(alu.inv(add.nandOut[i]));
+        or_w.push_back(alu.nand2(alu.inv(add.propagate[i]),
+                                 add.nandOut[i]));
+    }
+
+    // ---- Barrel shifter on rd; amount from rs or imm. ----
+    Word amt_src = alu.mux2Word(rs_val, imm, is_imm);
+    Word amt = {amt_src[0], amt_src[1], amt_src[2]};
+    NetId fill = alu.and2(shift_arith, rd_val[W - 1]);
+    Word s1 = {alu.mux2(rd_val[0], rd_val[1], amt[0]),
+               alu.mux2(rd_val[1], rd_val[2], amt[0]),
+               alu.mux2(rd_val[2], rd_val[3], amt[0]),
+               alu.mux2(rd_val[3], fill, amt[0])};
+    Word s2 = {alu.mux2(s1[0], s1[2], amt[1]),
+               alu.mux2(s1[1], s1[3], amt[1]),
+               alu.mux2(s1[2], fill, amt[1]),
+               alu.mux2(s1[3], fill, amt[1])};
+    Word shift_w;
+    for (unsigned i = 0; i < W; ++i)
+        shift_w.push_back(alu.mux2(s2[i], fill, amt[2]));
+    NetId odd_c = alu.mux2(rd_val[0], rd_val[2], amt[1]);
+    NetId even_c = alu.mux2(rd_val[1], rd_val[3], amt[2]);
+    NetId sh_low = alu.mux2(even_c, odd_c, amt[0]);
+    NetId ge5 = alu.and2(amt[2], alu.or2(amt[1], amt[0]));
+    NetId sh_c = alu.mux2(sh_low, fill, ge5);
+
+    // ---- Result mux. ----
+    Word logic_ox = alu.mux2Word(or_w, add.propagate, is_xor);
+    Word logic_w = alu.mux2Word(logic_ox, and_w, is_and);
+    NetId use_logic = alu.or3(is_and, is_or, is_xor);
+    Word ar_lg = alu.mux2Word(add.sum, logic_w, use_logic);
+    Word mv_sh = alu.mux2Word(b_op, shift_w, is_shift);
+    NetId use_ms = alu.or2(is_mov, is_shift);
+    Word result = alu.mux2Word(ar_lg, mv_sh, use_ms);
+
+    // ---- Writes. ----
+    NetId amt_nz = dec.or3(amt[0], amt[1], amt[2]);
+    NetId carry_we = dec.or3(is_arith, is_neg,
+                             dec.and2(is_shift, amt_nz));
+    NetId carry_next = ctl.mux2(add.carryOut, sh_c, is_shift);
+    ctl.connectRegister(carry_q, {carry_next}, carry_we);
+
+    flg.connectRegister(flags_val, result, rd_we);
+
+    std::vector<NetId> onehot = mem.decodeOneHot(rd_addr);
+    for (unsigned w = 1; w < NWORDS; ++w) {
+        NetId we = mem.and2(onehot[w], rd_we);
+        mem.connectRegister(words[w], result, we);
+    }
+
+    // ---- Branch / call / ret; PC counts words. ----
+    NetId n_flag = flags_val[W - 1];
+    NetId z_flag = pcb.andReduce(
+        {pcb.inv(flags_val[0]), pcb.inv(flags_val[1]),
+         pcb.inv(flags_val[2]), pcb.inv(flags_val[3])});
+    NetId p_flag = pcb.and2(pcb.inv(n_flag), pcb.inv(z_flag));
+    // BR packs nzp into the rd field ([10:8]) and target into [6:0].
+    NetId cond = pcb.or3(pcb.and2(instr[10], n_flag),
+                         pcb.and2(instr[9], z_flag),
+                         pcb.and2(instr[8], p_flag));
+    NetId redirect = pcb.or2(pcb.and2(is_br, cond), is_call);
+
+    Word inc = pcb.incrementer(pc);
+    Word target = {instr[0], instr[1], instr[2], instr[3],
+                   instr[4], instr[5], instr[6]};
+    Word pc_seq = pcb.mux2Word(inc, target, redirect);
+    Word pc_next = pcb.mux2Word(pc_seq, ret, is_ret);
+    pcb.connectDff(pc, pc_next);
+    ctl.connectRegister(ret, inc, is_call);
+
+    // ---- Pads. ----
+    Builder io = top.scoped("core");
+    Word pc_pad, oport_pad;
+    for (unsigned i = 0; i < 7; ++i)
+        pc_pad.push_back(io.netlist().addCell(
+            CellType::BUF_X2, {pc[i]}, "core"));
+    for (unsigned i = 0; i < W; ++i)
+        oport_pad.push_back(io.netlist().addCell(
+            CellType::BUF_X2, {oport[i]}, "core"));
+    for (NetId in : instr)
+        io.buf(in);
+    for (NetId in : iport)
+        io.buf(in);
+
+    for (unsigned i = 0; i < 7; ++i)
+        nl->addOutput("pc" + std::to_string(i), pc_pad[i]);
+    for (unsigned i = 0; i < W; ++i)
+        nl->addOutput("oport" + std::to_string(i), oport_pad[i]);
+
+    nl->elaborate();
+    return nl;
+}
+
+} // namespace flexi

@@ -1,0 +1,110 @@
+#include "lockstep.hh"
+
+#include "common/logging.hh"
+#include "isa/encoding.hh"
+#include "sim/core_sim.hh"
+#include "sim/environment.hh"
+
+namespace flexi
+{
+
+namespace
+{
+
+/** Environment returning a value chosen by the harness per step. */
+class HeldInputEnv : public Environment
+{
+  public:
+    uint8_t readInput() override { return held; }
+    void
+    writeOutput(uint8_t value) override
+    {
+        outputs.push_back(value);
+    }
+
+    uint8_t held = 0;
+    std::vector<uint8_t> outputs;
+};
+
+/** Does this instruction architecturally sample the input bus? */
+bool
+readsInput(const Instruction &inst)
+{
+    return inst.mode == Mode::Mem && inst.op != Op::Store &&
+           inst.operand == kInputPortAddr;
+}
+
+} // namespace
+
+LockstepResult
+runLockstep(Netlist &netlist, IsaKind isa, const Program &prog,
+            const std::vector<uint8_t> &inputs,
+            uint64_t max_instructions)
+{
+    if (!netlist.elaborated())
+        fatal("netlist must be elaborated");
+
+    // The DSE single-cycle netlists have the wide 16-bit program
+    // bus: both bytes of an instruction arrive at once and every
+    // instruction takes one cycle. LoadStore4's PC counts words.
+    bool wide_bus = isa == IsaKind::ExtAcc4 ||
+                    isa == IsaKind::LoadStore4;
+    bool word_pc = isa == IsaKind::LoadStore4;
+
+    unsigned w = isaDataWidth(isa);
+    const std::vector<uint8_t> &image = prog.page(0);
+    auto fetch = [&](unsigned pc) -> uint8_t {
+        return pc < image.size() ? image[pc] : 0;
+    };
+
+    HeldInputEnv env;
+    TimingConfig cfg;
+    cfg.isa = isa;
+    CoreSim golden(cfg, prog, env);
+
+    netlist.reset();
+
+    LockstepResult res;
+    size_t input_idx = 0;
+
+    while (res.instructions < max_instructions && !golden.halted()) {
+        // Decode at the *golden* PC to know whether this instruction
+        // samples the input bus; both models then see the same value.
+        DecodeResult dec = decodeAt(isa, image, golden.pc());
+        if (readsInput(dec.inst) && input_idx < inputs.size())
+            env.held = inputs[input_idx++] &
+                       static_cast<uint8_t>((1u << w) - 1u);
+
+        // Drive the die for as many cycles as the instruction takes,
+        // fetching from the netlist's own PC pads.
+        unsigned cycles = wide_bus ? 1 : dec.bytes;
+        for (unsigned c = 0; c < cycles; ++c) {
+            unsigned die_pc = netlist.bus("pc", 7);
+            if (wide_bus) {
+                unsigned base = word_pc ? die_pc * 2 : die_pc;
+                netlist.setBus("instr", 16,
+                               fetch(base) | (fetch(base + 1) << 8));
+            } else {
+                netlist.setBus("instr", 8, fetch(die_pc));
+            }
+            netlist.setBus("iport", w, env.held);
+            netlist.evaluate();
+            netlist.clockEdge();
+            netlist.evaluate();   // expose new state on the pads
+            ++res.cycles;
+        }
+
+        golden.step();
+        ++res.instructions;
+
+        if (netlist.bus("pc", 7) != golden.pc())
+            ++res.errors;
+        if (netlist.bus("oport", w) != golden.outputLatch())
+            ++res.errors;
+    }
+
+    res.outputs = std::move(env.outputs);
+    return res;
+}
+
+} // namespace flexi

@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Lockstep execution of a gate-level FlexiCore netlist against the
+ * architectural simulator.
+ *
+ * This reproduces the paper's wafer-test methodology (Section 4.1):
+ * "A test pattern derived from a Verilog simulation was translated to
+ * input signals ... We count a core as fully-functional if there are
+ * zero measured differences between its output and the expected
+ * output as determined by RTL simulation across all test vectors."
+ *
+ * Here the netlist plays the part of the die, the CoreSim plays the
+ * RTL golden model, and the harness plays the NI digital pattern
+ * instrument: it drives the instruction bus from the netlist's own
+ * PC pins (so a faulty PC fetches the wrong instruction, exactly as
+ * on the probe station) and compares the PC and OPORT pads every
+ * cycle.
+ */
+
+#ifndef FLEXI_NETLIST_LOCKSTEP_HH
+#define FLEXI_NETLIST_LOCKSTEP_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "assembler/program.hh"
+#include "netlist/netlist.hh"
+
+namespace flexi
+{
+
+/** Result of a lockstep run. */
+struct LockstepResult
+{
+    uint64_t cycles = 0;
+    uint64_t instructions = 0;
+    /** Cycles on which PC or OPORT pads differed from golden. */
+    uint64_t errors = 0;
+    /** Output-port write events observed on the golden model. */
+    std::vector<uint8_t> outputs;
+};
+
+/**
+ * Run @p netlist in lockstep with the architectural model executing
+ * @p prog (page 0 only — the probe-station tests are single-page).
+ *
+ * @param netlist an elaborated FlexiCore4/8 netlist (possibly with
+ *        injected faults)
+ * @param isa which of the two fabricated ISAs the netlist implements
+ * @param prog the test program
+ * @param inputs values appearing on the input bus; each architectural
+ *        read of data address 0 consumes the next one (the last value
+ *        is held once exhausted)
+ * @param max_instructions instruction budget
+ */
+LockstepResult runLockstep(Netlist &netlist, IsaKind isa,
+                           const Program &prog,
+                           const std::vector<uint8_t> &inputs,
+                           uint64_t max_instructions);
+
+} // namespace flexi
+
+#endif // FLEXI_NETLIST_LOCKSTEP_HH

@@ -1,0 +1,431 @@
+#include "netlist.hh"
+
+#include <algorithm>
+#include <queue>
+
+#include "common/logging.hh"
+
+namespace flexi
+{
+
+Netlist::Netlist(std::string name)
+    : name_(std::move(name))
+{
+    zero_ = newNet();
+    one_ = newNet();
+}
+
+NetId
+Netlist::newNet()
+{
+    return nextNet_++;
+}
+
+NetId
+Netlist::addInput(const std::string &name)
+{
+    checkElaborated(false);
+    auto [it, inserted] = inputs_.emplace(name, kNoNet);
+    if (!inserted)
+        panic("duplicate input '%s'", name.c_str());
+    it->second = newNet();
+    return it->second;
+}
+
+void
+Netlist::addOutput(const std::string &name, NetId net)
+{
+    checkElaborated(false);
+    if (!outputs_.emplace(name, net).second)
+        panic("duplicate output '%s'", name.c_str());
+}
+
+NetId
+Netlist::addCell(CellType type, const std::vector<NetId> &inputs,
+                 const std::string &module)
+{
+    checkElaborated(false);
+    if (isSequential(type))
+        panic("use addDff for sequential cells");
+    const CellInfo &info = cellInfo(type);
+    if (inputs.size() != info.numInputs)
+        panic("%s expects %u inputs, got %zu", info.name,
+              info.numInputs, inputs.size());
+    CellInst cell;
+    cell.type = type;
+    cell.inputs = inputs;
+    cell.output = newNet();
+    cell.module = module;
+    cells_.push_back(std::move(cell));
+    return cells_.back().output;
+}
+
+NetId
+Netlist::addDff(NetId d, const std::string &module, bool init, bool x2)
+{
+    checkElaborated(false);
+    CellInst cell;
+    cell.type = x2 ? CellType::DFF_X2 : CellType::DFF_X1;
+    cell.inputs = {d, kNoNet};   // D, (implicit clock slot)
+    cell.output = newNet();
+    cell.module = module;
+    cells_.push_back(std::move(cell));
+    dffCells_.push_back(cells_.size() - 1);
+    dffState_.push_back(init);
+    dffInit_.push_back(init);
+    return cells_.back().output;
+}
+
+void
+Netlist::setDffInput(NetId q, NetId d)
+{
+    checkElaborated(false);
+    for (size_t idx : dffCells_) {
+        if (cells_[idx].output == q) {
+            cells_[idx].inputs[0] = d;
+            return;
+        }
+    }
+    panic("setDffInput: net %u is not a DFF output", q);
+}
+
+void
+Netlist::elaborate()
+{
+    checkElaborated(false);
+
+    // Topological sort of combinational cells: a cell is ready once
+    // all of its input nets are known (inputs, constants, DFF Q
+    // outputs, or outputs of already-ordered cells).
+    std::vector<bool> known(nextNet_, false);
+    known[zero_] = known[one_] = true;
+    for (const auto &[name, net] : inputs_)
+        known[net] = true;
+    for (size_t idx : dffCells_)
+        known[cells_[idx].output] = true;
+
+    // Map net -> consuming comb cells, and count unresolved inputs.
+    std::vector<std::vector<size_t>> consumers(nextNet_);
+    std::vector<unsigned> pendingIn(cells_.size(), 0);
+    std::queue<size_t> ready;
+
+    for (size_t i = 0; i < cells_.size(); ++i) {
+        if (isSequential(cells_[i].type))
+            continue;
+        unsigned pending = 0;
+        for (NetId in : cells_[i].inputs) {
+            if (in == kNoNet)
+                panic("cell %zu has an unconnected input", i);
+            if (!known[in]) {
+                consumers[in].push_back(i);
+                ++pending;
+            }
+        }
+        pendingIn[i] = pending;
+        if (!pending)
+            ready.push(i);
+    }
+
+    evalOrder_.clear();
+    while (!ready.empty()) {
+        size_t i = ready.front();
+        ready.pop();
+        evalOrder_.push_back(i);
+        NetId out = cells_[i].output;
+        known[out] = true;
+        for (size_t c : consumers[out])
+            if (--pendingIn[c] == 0)
+                ready.push(c);
+    }
+
+    size_t comb = 0;
+    for (const auto &cell : cells_)
+        if (!isSequential(cell.type))
+            ++comb;
+    if (evalOrder_.size() != comb)
+        panic("netlist '%s' has a combinational loop (%zu of %zu "
+              "cells ordered)", name_.c_str(), evalOrder_.size(), comb);
+
+    // Check DFF D inputs are wired.
+    for (size_t idx : dffCells_)
+        if (cells_[idx].inputs[0] == kNoNet)
+            panic("DFF (net %u) has an unconnected D input",
+                  cells_[idx].output);
+
+    netVal_.assign(nextNet_, false);
+    netVal_[one_] = true;
+    forced_.assign(nextNet_, false);
+    forcedVal_.assign(nextNet_, false);
+    toggles_.assign(cells_.size(), 0);
+    elaborated_ = true;
+    reset();
+}
+
+void
+Netlist::checkElaborated(bool want) const
+{
+    if (elaborated_ != want)
+        panic("netlist '%s': %s", name_.c_str(),
+              want ? "not elaborated yet" : "already elaborated");
+}
+
+void
+Netlist::setInput(const std::string &name, bool value)
+{
+    checkElaborated(true);
+    auto it = inputs_.find(name);
+    if (it == inputs_.end())
+        panic("no input named '%s'", name.c_str());
+    netVal_[it->second] = value;
+}
+
+void
+Netlist::setBus(const std::string &prefix, unsigned width,
+                unsigned value)
+{
+    for (unsigned i = 0; i < width; ++i)
+        setInput(prefix + std::to_string(i), (value >> i) & 1u);
+}
+
+void
+Netlist::evaluate()
+{
+    checkElaborated(true);
+
+    // Apply fault forcing to primary/state nets first.
+    for (const auto &f : faults_)
+        netVal_[f.net] = f.value;
+
+    // Expose DFF state on Q nets.
+    for (size_t i = 0; i < dffCells_.size(); ++i) {
+        NetId q = cells_[dffCells_[i]].output;
+        if (!forced_[q])
+            netVal_[q] = dffState_[i];
+    }
+
+    for (size_t idx : evalOrder_) {
+        const CellInst &cell = cells_[idx];
+        auto in = [&](size_t k) { return netVal_[cell.inputs[k]]; };
+        bool v = false;
+        switch (cell.type) {
+          case CellType::INV_X1:
+          case CellType::INV_X2:
+            v = !in(0);
+            break;
+          case CellType::BUF_X1:
+          case CellType::BUF_X2:
+            v = in(0);
+            break;
+          case CellType::NAND2:
+            v = !(in(0) && in(1));
+            break;
+          case CellType::NAND3:
+            v = !(in(0) && in(1) && in(2));
+            break;
+          case CellType::NOR2:
+            v = !(in(0) || in(1));
+            break;
+          case CellType::NOR3:
+            v = !(in(0) || in(1) || in(2));
+            break;
+          case CellType::XOR2:
+            v = in(0) != in(1);
+            break;
+          case CellType::XNOR2:
+            v = in(0) == in(1);
+            break;
+          case CellType::MUX2:
+            // inputs: {a, b, sel} -> sel ? b : a
+            v = in(2) ? in(1) : in(0);
+            break;
+          default:
+            panic("evaluate: unexpected cell type");
+        }
+        NetId out = cell.output;
+        if (forced_[out])
+            v = forcedVal_[out];
+        if (netVal_[out] != v)
+            ++toggles_[idx];
+        netVal_[out] = v;
+    }
+}
+
+void
+Netlist::clockEdge()
+{
+    checkElaborated(true);
+    for (size_t i = 0; i < dffCells_.size(); ++i) {
+        size_t idx = dffCells_[i];
+        bool d = netVal_[cells_[idx].inputs[0]];
+        NetId q = cells_[idx].output;
+        if (forced_[q])
+            d = forcedVal_[q];
+        if (dffState_[i] != d)
+            ++toggles_[idx];
+        dffState_[i] = d;
+    }
+}
+
+bool
+Netlist::output(const std::string &name) const
+{
+    auto it = outputs_.find(name);
+    if (it == outputs_.end())
+        panic("no output named '%s'", name.c_str());
+    return netVal_[it->second];
+}
+
+unsigned
+Netlist::bus(const std::string &prefix, unsigned width) const
+{
+    unsigned v = 0;
+    for (unsigned i = 0; i < width; ++i)
+        v |= static_cast<unsigned>(
+                 output(prefix + std::to_string(i))) << i;
+    return v;
+}
+
+bool
+Netlist::netValue(NetId net) const
+{
+    checkElaborated(true);
+    if (net >= netVal_.size())
+        panic("netValue: bad net %u", net);
+    return netVal_[net];
+}
+
+void
+Netlist::reset()
+{
+    checkElaborated(true);
+    for (size_t i = 0; i < dffState_.size(); ++i)
+        dffState_[i] = dffInit_[i];
+    std::fill(netVal_.begin(), netVal_.end(), false);
+    netVal_[one_] = true;
+}
+
+void
+Netlist::injectFault(const StuckFault &fault)
+{
+    checkElaborated(true);
+    if (fault.net >= nextNet_)
+        panic("injectFault: bad net %u", fault.net);
+    faults_.push_back(fault);
+    forced_[fault.net] = true;
+    forcedVal_[fault.net] = fault.value;
+}
+
+void
+Netlist::clearFaults()
+{
+    checkElaborated(true);
+    for (const auto &f : faults_) {
+        forced_[f.net] = false;
+        forcedVal_[f.net] = false;
+    }
+    faults_.clear();
+}
+
+unsigned
+Netlist::totalDevices() const
+{
+    unsigned n = 0;
+    for (const auto &cell : cells_)
+        n += cellInfo(cell.type).deviceCount;
+    return n;
+}
+
+double
+Netlist::totalNand2Area() const
+{
+    double a = 0.0;
+    for (const auto &cell : cells_)
+        a += cellInfo(cell.type).nand2Area;
+    return a;
+}
+
+double
+Netlist::totalStaticCurrentUa() const
+{
+    double c = 0.0;
+    for (const auto &cell : cells_)
+        c += cellInfo(cell.type).staticCurrentUa;
+    return c;
+}
+
+std::map<std::string, ModuleStats>
+Netlist::moduleBreakdown() const
+{
+    std::map<std::string, ModuleStats> out;
+    for (const auto &cell : cells_) {
+        const CellInfo &info = cellInfo(cell.type);
+        ModuleStats &m = out[cell.module];
+        ++m.cells;
+        m.devices += info.deviceCount;
+        m.nand2Area += info.nand2Area;
+        if (isSequential(cell.type))
+            m.nand2AreaSeq += info.nand2Area;
+        m.staticCurrentUa += info.staticCurrentUa;
+    }
+    return out;
+}
+
+double
+Netlist::criticalPathDelayUnits() const
+{
+    // Longest-path DP in evaluation (topological) order; sources
+    // (inputs, constants, DFF Q) start at zero arrival.
+    std::vector<double> arrival(nextNet_, 0.0);
+    double worst = 0.0;
+    for (size_t idx : evalOrder_) {
+        const CellInst &cell = cells_[idx];
+        double in_max = 0.0;
+        for (NetId in : cell.inputs)
+            if (in != kNoNet)
+                in_max = std::max(in_max, arrival[in]);
+        double t = in_max + cellInfo(cell.type).delayUnits;
+        arrival[cell.output] = t;
+        worst = std::max(worst, t);
+    }
+    // Include DFF setup path (D arrival + DFF delay weight).
+    for (size_t idx : dffCells_) {
+        const CellInst &cell = cells_[idx];
+        worst = std::max(worst, arrival[cell.inputs[0]] +
+                                cellInfo(cell.type).delayUnits);
+    }
+    return worst;
+}
+
+const std::vector<uint64_t> &
+Netlist::toggleCounts() const
+{
+    return toggles_;
+}
+
+void
+Netlist::resetToggles()
+{
+    std::fill(toggles_.begin(), toggles_.end(), 0);
+}
+
+uint64_t
+Netlist::minCellToggles() const
+{
+    uint64_t m = ~0ull;
+    for (uint64_t t : toggles_)
+        m = std::min(m, t);
+    return toggles_.empty() ? 0 : m;
+}
+
+double
+Netlist::meanCellToggles() const
+{
+    if (toggles_.empty())
+        return 0.0;
+    double sum = 0.0;
+    for (uint64_t t : toggles_)
+        sum += static_cast<double>(t);
+    return sum / static_cast<double>(toggles_.size());
+}
+
+} // namespace flexi

@@ -1,0 +1,35 @@
+#include "environment.hh"
+
+namespace flexi
+{
+
+void
+FifoEnvironment::pushInputs(const std::vector<uint8_t> &values)
+{
+    for (uint8_t v : values)
+        fifo_.push_back(v);
+}
+
+void
+FifoEnvironment::pushInput(uint8_t value)
+{
+    fifo_.push_back(value);
+}
+
+uint8_t
+FifoEnvironment::readInput()
+{
+    if (!fifo_.empty()) {
+        held_ = fifo_.front();
+        fifo_.pop_front();
+    }
+    return held_;
+}
+
+void
+FifoEnvironment::writeOutput(uint8_t value)
+{
+    outputs_.push_back(value);
+}
+
+} // namespace flexi

@@ -1,0 +1,69 @@
+/**
+ * @file
+ * The world outside the core: IO buses and program paging.
+ *
+ * FlexiCores communicate with peripherals through a memory-mapped
+ * input bus (data address 0) and output bus (data address 1), and
+ * fetch instructions from off-chip program memory whose page is
+ * selected by an off-chip MMU (Sections 3.3 and 5.1).
+ */
+
+#ifndef FLEXI_SIM_ENVIRONMENT_HH
+#define FLEXI_SIM_ENVIRONMENT_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+namespace flexi
+{
+
+/** Abstract peripheral environment seen by a core. */
+class Environment
+{
+  public:
+    virtual ~Environment() = default;
+
+    /** Sample the input bus (a read of data address 0). */
+    virtual uint8_t readInput() = 0;
+
+    /** Drive the output bus (a write of data address 1). */
+    virtual void writeOutput(uint8_t value) = 0;
+
+    /**
+     * Called when the core takes a branch; the off-chip MMU applies
+     * a pending page switch at this point ("after a short delay",
+     * Section 5.1). Returns the new page, or -1 for no switch.
+     */
+    virtual int pageSwitchOnBranch() { return -1; }
+};
+
+/**
+ * A simple peripheral model: input values come from a FIFO (the last
+ * value is held once the FIFO drains, like a sensor holding its
+ * reading); every output write is recorded.
+ */
+class FifoEnvironment : public Environment
+{
+  public:
+    /** Queue @p values on the input bus, oldest first. */
+    void pushInputs(const std::vector<uint8_t> &values);
+    void pushInput(uint8_t value);
+
+    uint8_t readInput() override;
+    void writeOutput(uint8_t value) override;
+
+    const std::vector<uint8_t> &outputs() const { return outputs_; }
+    void clearOutputs() { outputs_.clear(); }
+    size_t inputsRemaining() const { return fifo_.size(); }
+
+  private:
+    std::deque<uint8_t> fifo_;
+    uint8_t held_ = 0;
+    std::vector<uint8_t> outputs_;
+};
+
+} // namespace flexi
+
+#endif // FLEXI_SIM_ENVIRONMENT_HH

@@ -1,0 +1,73 @@
+#include "mmu.hh"
+
+#include "common/logging.hh"
+
+namespace flexi
+{
+
+std::vector<uint8_t>
+Mmu::onOutput(uint8_t value)
+{
+    switch (state_) {
+      case State::Idle:
+        if (value == kMmuEscape0) {
+            state_ = State::GotEsc0;
+            return {};
+        }
+        return {value};
+      case State::GotEsc0:
+        if (value == kMmuEscape1) {
+            state_ = State::GotEsc1;
+            return {};
+        }
+        state_ = State::Idle;
+        if (value == kMmuEscape0)
+            // Restart: the first escape byte flushes, the new one
+            // re-arms (longest-match behaviour of the FST).
+            return [&] { state_ = State::GotEsc0;
+                         return std::vector<uint8_t>{kMmuEscape0}; }();
+        return {kMmuEscape0, value};
+      case State::GotEsc1:
+        state_ = State::Idle;
+        pending_ = true;
+        pendingPage_ = value & 0xF;
+        return {};
+    }
+    panic("Mmu: bad state");
+}
+
+int
+Mmu::takePendingPage()
+{
+    if (!pending_)
+        return -1;
+    pending_ = false;
+    page_ = pendingPage_;
+    return static_cast<int>(page_);
+}
+
+PagedEnvironment::PagedEnvironment(Environment &inner)
+    : inner_(inner)
+{
+}
+
+uint8_t
+PagedEnvironment::readInput()
+{
+    return inner_.readInput();
+}
+
+void
+PagedEnvironment::writeOutput(uint8_t value)
+{
+    for (uint8_t v : mmu_.onOutput(value))
+        inner_.writeOutput(v);
+}
+
+int
+PagedEnvironment::pageSwitchOnBranch()
+{
+    return mmu_.takePendingPage();
+}
+
+} // namespace flexi

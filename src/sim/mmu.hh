@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Off-chip memory-management unit (program pager).
+ *
+ * Section 5.1: "The MMU consists of [a] finite-state transducer based
+ * controller, and a four-bit register. When the controller identifies
+ * a specific sequence of values on the FlexiCore's output port, it
+ * stores the value of the output port into the register after a short
+ * delay. This allows software to signal a 'page change' to one of
+ * sixteen different 128-instruction pages, and then branch to a
+ * desired location within that page."
+ *
+ * Our escape sequence is the triple {0xA, 0x5, page}. The "short
+ * delay" is modeled by applying the page switch at the core's next
+ * taken branch, so the branch instruction itself still executes from
+ * the old page — exactly the software idiom the paper describes.
+ * As with the paper's FST, programs must not emit that exact triple
+ * as ordinary output data.
+ */
+
+#ifndef FLEXI_SIM_MMU_HH
+#define FLEXI_SIM_MMU_HH
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "sim/environment.hh"
+
+namespace flexi
+{
+
+/** First and second values of the MMU escape sequence. */
+constexpr uint8_t kMmuEscape0 = 0xA;
+constexpr uint8_t kMmuEscape1 = 0x5;
+
+/** Finite-state-transducer page controller. */
+class Mmu
+{
+  public:
+    /**
+     * Feed one output-port value to the FST. Returns the values that
+     * should be forwarded to the real peripheral output (escape
+     * bytes are consumed; a broken escape is flushed through).
+     */
+    std::vector<uint8_t> onOutput(uint8_t value);
+
+    /** Page switch armed and not yet applied? */
+    bool pending() const { return pending_; }
+
+    /** Consume the pending switch; call at a taken branch. */
+    int takePendingPage();
+
+    unsigned currentPage() const { return page_; }
+
+  private:
+    enum class State { Idle, GotEsc0, GotEsc1 };
+
+    State state_ = State::Idle;
+    unsigned page_ = 0;
+    bool pending_ = false;
+    unsigned pendingPage_ = 0;
+};
+
+/**
+ * Environment decorator that interposes an Mmu between the core and
+ * an inner environment: escape triples select the fetch page, all
+ * other output traffic passes through.
+ */
+class PagedEnvironment : public Environment
+{
+  public:
+    explicit PagedEnvironment(Environment &inner);
+
+    uint8_t readInput() override;
+    void writeOutput(uint8_t value) override;
+    int pageSwitchOnBranch() override;
+
+    const Mmu &mmu() const { return mmu_; }
+
+  private:
+    Environment &inner_;
+    Mmu mmu_;
+};
+
+} // namespace flexi
+
+#endif // FLEXI_SIM_MMU_HH

@@ -1,0 +1,56 @@
+#include "timing.hh"
+
+#include "common/logging.hh"
+
+namespace flexi
+{
+
+const char *
+microArchName(MicroArch uarch)
+{
+    switch (uarch) {
+      case MicroArch::SingleCycle: return "single-cycle";
+      case MicroArch::Pipelined2: return "2-stage";
+      case MicroArch::MultiCycle: return "multicycle";
+    }
+    panic("microArchName: bad MicroArch");
+}
+
+void
+validateTimingConfig(const TimingConfig &cfg)
+{
+    if (cfg.isa == IsaKind::LoadStore4 && cfg.bus == BusWidth::Narrow8 &&
+        cfg.uarch != MicroArch::MultiCycle) {
+        fatal("a %s load-store core cannot fetch its 16-bit "
+              "instructions over an 8-bit bus (Section 6.2)",
+              microArchName(cfg.uarch));
+    }
+}
+
+unsigned
+instructionCycles(const TimingConfig &cfg, const Instruction &inst,
+                  bool branch_taken)
+{
+    // Cycles spent fetching this instruction.
+    unsigned fetch_cycles = 1;
+    if (cfg.bus == BusWidth::Narrow8)
+        fetch_cycles = inst.sizeBytes();
+    else if (inst.op == Op::Ldb)
+        fetch_cycles = 2;   // data byte arrives on the same bus
+
+    switch (cfg.uarch) {
+      case MicroArch::SingleCycle:
+        // Execution overlaps the (final) fetch cycle.
+        return fetch_cycles;
+      case MicroArch::Pipelined2:
+        // Fetch is hidden behind the previous instruction except for
+        // extra fetch beats; a taken branch flushes the fetch stage.
+        return fetch_cycles + (branch_taken ? 1 : 0);
+      case MicroArch::MultiCycle:
+        // Separate fetch and execute states.
+        return fetch_cycles + 1;
+    }
+    panic("instructionCycles: bad MicroArch");
+}
+
+} // namespace flexi

@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Microarchitectural timing models (Section 6.2's design space).
+ *
+ * Three microarchitectures are modeled, each with a wide program bus
+ * (fetches a whole instruction per cycle, as in the fabricated
+ * FlexiCores) or a bus restricted to 8 bits:
+ *
+ *  - SingleCycle: 1 cycle per instruction; multi-byte fetches (ldb,
+ *    ExtAcc4 br/call, narrow-bus anything) add a cycle each via the
+ *    'load byte'-style flag flip-flop.
+ *  - Pipelined2: fetch | decode+execute; taken branches flush the
+ *    fetch stage (1 bubble).
+ *  - MultiCycle: separate fetch and execute cycles (the paper notes
+ *    this "would double the core's CPI", Section 3.4).
+ *
+ * A single-cycle or 2-stage load-store core with an 8-bit bus is
+ * impossible (16-bit instructions cannot be fetched in one cycle,
+ * Section 6.2) and is rejected at configuration time.
+ */
+
+#ifndef FLEXI_SIM_TIMING_HH
+#define FLEXI_SIM_TIMING_HH
+
+#include <cstdint>
+
+#include "isa/isa.hh"
+
+namespace flexi
+{
+
+/** Pipeline organization. */
+enum class MicroArch : uint8_t
+{
+    SingleCycle,
+    Pipelined2,
+    MultiCycle,
+};
+
+const char *microArchName(MicroArch uarch);
+
+/** Program (instruction) bus width. */
+enum class BusWidth : uint8_t
+{
+    Wide,       ///< a whole instruction per cycle
+    Narrow8,    ///< 8 bits per cycle
+};
+
+/** A (ISA, microarchitecture, bus) timing configuration. */
+struct TimingConfig
+{
+    IsaKind isa = IsaKind::FlexiCore4;
+    MicroArch uarch = MicroArch::SingleCycle;
+    BusWidth bus = BusWidth::Wide;
+};
+
+/** Throws FatalError for impossible configurations. */
+void validateTimingConfig(const TimingConfig &cfg);
+
+/**
+ * Cycles consumed by one dynamic instruction.
+ *
+ * @param cfg the timing configuration
+ * @param inst the executed instruction
+ * @param branch_taken whether a Br/Call/Ret redirected the PC
+ */
+unsigned instructionCycles(const TimingConfig &cfg,
+                           const Instruction &inst, bool branch_taken);
+
+} // namespace flexi
+
+#endif // FLEXI_SIM_TIMING_HH

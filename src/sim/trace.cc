@@ -1,0 +1,26 @@
+#include "trace.hh"
+
+#include "common/logging.hh"
+#include "isa/disassembler.hh"
+
+namespace flexi
+{
+
+std::string
+formatTrace(IsaKind isa, const TraceRecord &rec)
+{
+    return strfmt("[%u:%3u] %-14s | acc %x->%x c=%d%s | cyc=%lu",
+                  rec.page, rec.pc,
+                  disassemble(isa, rec.inst).c_str(), rec.accBefore,
+                  rec.accAfter, rec.carryAfter ? 1 : 0,
+                  rec.taken ? " taken" : "",
+                  static_cast<unsigned long>(rec.cycle));
+}
+
+TraceSink
+TraceBuffer::sink()
+{
+    return [this](const TraceRecord &rec) { recs_.push_back(rec); };
+}
+
+} // namespace flexi

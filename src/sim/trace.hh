@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Instruction-level execution tracing.
+ *
+ * A TraceSink receives one record per executed instruction — the
+ * architectural before/after state plus the decoded instruction —
+ * enabling waveform-style debugging of kernel code (flexisim -t) and
+ * the trace-based tests. The textual format is stable:
+ *
+ *   [page:pc] disassembly | acc=.. c=. mem=........ | cyc=N
+ */
+
+#ifndef FLEXI_SIM_TRACE_HH
+#define FLEXI_SIM_TRACE_HH
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "isa/isa.hh"
+
+namespace flexi
+{
+
+/** One executed instruction. */
+struct TraceRecord
+{
+    uint64_t index = 0;       ///< dynamic instruction number
+    uint64_t cycle = 0;       ///< cycle count *after* execution
+    unsigned page = 0;
+    unsigned pc = 0;          ///< fetch PC
+    Instruction inst;
+    uint8_t accBefore = 0;
+    uint8_t accAfter = 0;
+    bool carryAfter = false;
+    bool taken = false;       ///< control transfer redirected the PC
+};
+
+/** Callback receiving trace records. */
+using TraceSink = std::function<void(const TraceRecord &)>;
+
+/** Render one record in the stable textual format. */
+std::string formatTrace(IsaKind isa, const TraceRecord &rec);
+
+/** A sink that accumulates records in memory (for tests/tools). */
+class TraceBuffer
+{
+  public:
+    TraceSink sink();
+
+    const std::vector<TraceRecord> &records() const { return recs_; }
+    void clear() { recs_.clear(); }
+
+  private:
+    std::vector<TraceRecord> recs_;
+};
+
+} // namespace flexi
+
+#endif // FLEXI_SIM_TRACE_HH

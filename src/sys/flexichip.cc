@@ -1,0 +1,179 @@
+#include "flexichip.hh"
+
+#include <sstream>
+
+#include "assembler/assembler.hh"
+#include "common/logging.hh"
+#include "dse/area_model.hh"
+#include "netlist/flexicore_netlist.hh"
+#include "tech/technology.hh"
+
+namespace flexi
+{
+
+FlexiChip::FlexiChip(IsaKind isa)
+    : isa_(isa)
+{
+    if (isa != IsaKind::FlexiCore4 && isa != IsaKind::FlexiCore8)
+        fatal("use the DesignPoint constructor for DSE cores");
+    timing_ = {isa_, MicroArch::SingleCycle, BusWidth::Wide};
+}
+
+FlexiChip::FlexiChip(const DesignPoint &point)
+    : isa_(point.isa()), point_(point)
+{
+    if (!point.feasible())
+        fatal("design point %s is infeasible (Section 6.2)",
+              point.name().c_str());
+    timing_ = point.timing();
+}
+
+FlexiChip::~FlexiChip() = default;
+
+void
+FlexiChip::loadProgram(const std::string &asm_source)
+{
+    loadProgram(assemble(isa_, asm_source));
+}
+
+void
+FlexiChip::loadProgram(Program program)
+{
+    if (program.isa() != isa_)
+        fatal("program assembled for %s, chip is %s",
+              isaName(program.isa()), isaName(isa_));
+    program_ = std::move(program);
+    paged_.reset();
+    Environment *env = &io_;
+    if (program_->numPages() > 1) {
+        paged_ = std::make_unique<PagedEnvironment>(io_);
+        env = paged_.get();
+    }
+    sim_ = std::make_unique<CoreSim>(timing_, *program_, *env);
+}
+
+void
+FlexiChip::pushInput(uint8_t value)
+{
+    io_.pushInput(value);
+}
+
+void
+FlexiChip::pushInputs(const std::vector<uint8_t> &values)
+{
+    io_.pushInputs(values);
+}
+
+const std::vector<uint8_t> &
+FlexiChip::outputs() const
+{
+    return io_.outputs();
+}
+
+void
+FlexiChip::clearOutputs()
+{
+    io_.clearOutputs();
+}
+
+void
+FlexiChip::requireProgram() const
+{
+    if (!sim_)
+        fatal("no program loaded");
+}
+
+StopReason
+FlexiChip::run(uint64_t max_instructions)
+{
+    requireProgram();
+    return sim_->run(max_instructions);
+}
+
+StopReason
+FlexiChip::runUntilOutputs(size_t n, uint64_t max_instructions)
+{
+    requireProgram();
+    return sim_->runUntilOutputs([&] { return io_.outputs().size(); },
+                                 n, max_instructions);
+}
+
+void
+FlexiChip::setTraceSink(TraceSink sink)
+{
+    requireProgram();
+    sim_->setTraceSink(std::move(sink));
+}
+
+const SimStats &
+FlexiChip::stats() const
+{
+    requireProgram();
+    return sim_->stats();
+}
+
+bool
+FlexiChip::halted() const
+{
+    return sim_ && sim_->halted();
+}
+
+double
+FlexiChip::elapsedSeconds() const
+{
+    requireProgram();
+    double clock = physical().fmaxHz;
+    return static_cast<double>(sim_->stats().cycles) / clock;
+}
+
+double
+FlexiChip::energyJoules() const
+{
+    return physical().staticPowerW * elapsedSeconds();
+}
+
+ChipPhysical
+FlexiChip::physical() const
+{
+    ChipPhysical phys;
+    Technology tech(isa_ == IsaKind::FlexiCore8);
+
+    if (point_) {
+        phys.nand2Area = areaOf(*point_).total();
+        phys.devices = static_cast<unsigned>(phys.nand2Area * 3.4);
+        phys.fmaxHz = fmaxOf(*point_);
+        phys.staticPowerW = staticPowerOf(*point_);
+    } else {
+        auto nl = isa_ == IsaKind::FlexiCore4
+            ? buildFlexiCore4Netlist() : buildFlexiCore8Netlist();
+        phys.nand2Area = nl->totalNand2Area();
+        phys.devices = nl->totalDevices();
+        // The fabricated parts are IO-limited to 12.5 kHz
+        // (Section 4.1), below the intrinsic critical path rate.
+        phys.fmaxHz = kClockHz;
+        phys.staticPowerW =
+            tech.staticPower(nl->totalStaticCurrentUa(), kVddNominal);
+    }
+    phys.areaMm2 = tech.areaMm2(phys.nand2Area);
+    phys.energyPerInstructionJ = phys.staticPowerW / phys.fmaxHz;
+    return phys;
+}
+
+std::string
+FlexiChip::physicalReport() const
+{
+    ChipPhysical phys = physical();
+    std::ostringstream out;
+    out << (point_ ? point_->name() : isaName(isa_)) << ":\n";
+    out << strfmt("  area          %.2f mm^2 (%.0f NAND2-eq)\n",
+                  phys.areaMm2, phys.nand2Area);
+    out << strfmt("  devices       %u\n", phys.devices);
+    out << strfmt("  clock         %.1f kHz\n", phys.fmaxHz / 1e3);
+    out << strfmt("  static power  %.2f mW @ 4.5 V\n",
+                  phys.staticPowerW * 1e3);
+    out << strfmt("  energy/instr  %.0f nJ\n",
+                  phys.energyPerInstructionJ * 1e9);
+    return out.str();
+}
+
+} // namespace flexi

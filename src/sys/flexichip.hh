@@ -1,0 +1,109 @@
+/**
+ * @file
+ * FlexiChip: the top-level public API of the library.
+ *
+ * A FlexiChip bundles a core (fabricated FlexiCore4/8 or a DSE
+ * configuration), its off-chip program memory and MMU pager, and the
+ * IO buses, and exposes the physical model (area, power, f_max,
+ * energy) alongside execution. This is the object a downstream user
+ * builds first; see examples/quickstart.cc.
+ *
+ * @code
+ *   FlexiChip chip(IsaKind::FlexiCore4);
+ *   chip.loadProgram("loop: load r0\n addi 3\n store r1\n"
+ *                    " nandi 0\n br loop\n");
+ *   chip.pushInputs({1, 2, 3});
+ *   chip.runUntilOutputs(3);
+ *   // chip.outputs() == {4, 5, 6}
+ * @endcode
+ */
+
+#ifndef FLEXI_SYS_FLEXICHIP_HH
+#define FLEXI_SYS_FLEXICHIP_HH
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "assembler/program.hh"
+#include "dse/design_point.hh"
+#include "sim/core_sim.hh"
+#include "sim/mmu.hh"
+
+namespace flexi
+{
+
+/** Physical summary of a chip configuration. */
+struct ChipPhysical
+{
+    double nand2Area = 0.0;
+    double areaMm2 = 0.0;
+    unsigned devices = 0;
+    double fmaxHz = 0.0;
+    double staticPowerW = 0.0;   ///< at the 4.5 V test point
+    double energyPerInstructionJ = 0.0;
+};
+
+/** A complete FlexiCore system: core + program memory + MMU + IO. */
+class FlexiChip
+{
+  public:
+    /** A fabricated core (FlexiCore4 / FlexiCore8). */
+    explicit FlexiChip(IsaKind isa);
+    /** A DSE configuration (ExtAcc4 / LoadStore4). */
+    explicit FlexiChip(const DesignPoint &point);
+    ~FlexiChip();
+
+    /** Assemble and load a program (replaces any previous one). */
+    void loadProgram(const std::string &asm_source);
+    /** Load an already-assembled program. */
+    void loadProgram(Program program);
+
+    /** @name IO buses */
+    ///@{
+    void pushInput(uint8_t value);
+    void pushInputs(const std::vector<uint8_t> &values);
+    const std::vector<uint8_t> &outputs() const;
+    void clearOutputs();
+    ///@}
+
+    /** @name Execution */
+    ///@{
+    StopReason run(uint64_t max_instructions = 1000000);
+    StopReason runUntilOutputs(size_t n,
+                               uint64_t max_instructions = 1000000);
+    const SimStats &stats() const;
+    bool halted() const;
+    /** Wall-clock runtime so far at the chip's clock. */
+    double elapsedSeconds() const;
+    /** Energy consumed so far (static-power dominated). */
+    double energyJoules() const;
+    ///@}
+
+    /** Install an execution trace sink (after loadProgram). */
+    void setTraceSink(TraceSink sink);
+
+    /** Physical characteristics of this configuration. */
+    ChipPhysical physical() const;
+
+    /** Multi-line human-readable physical summary. */
+    std::string physicalReport() const;
+
+    IsaKind isa() const { return isa_; }
+
+  private:
+    void requireProgram() const;
+
+    IsaKind isa_;
+    std::optional<DesignPoint> point_;   ///< DSE configs only
+    std::optional<Program> program_;
+    FifoEnvironment io_;
+    std::unique_ptr<PagedEnvironment> paged_;
+    std::unique_ptr<CoreSim> sim_;
+    TimingConfig timing_;
+};
+
+} // namespace flexi
+
+#endif // FLEXI_SYS_FLEXICHIP_HH

@@ -1,0 +1,66 @@
+#include "cell_library.hh"
+
+#include "common/logging.hh"
+
+namespace flexi
+{
+
+namespace
+{
+
+// Device counts assume n-type logic with resistive pull-up: an
+// m-input NAND is m series TFTs + 1 pull-up; XOR/XNOR are compound
+// gates; the DFF is a master-slave pair of clocked latches. Static
+// current is proportional to the number of pull-up resistors that
+// conduct on average; areas are calibrated so that the structural
+// FlexiCore4 netlist lands near the paper's 801 NAND2 equivalents.
+const std::array<CellInfo, kNumCellTypes> lib = {{
+    // type               name      in dev  area  uA    delay
+    {CellType::INV_X1,   "INV_X1",  1,  2,  0.75, 1.6,  1.0},
+    {CellType::INV_X2,   "INV_X2",  1,  3,  1.00, 2.4,  0.8},
+    {CellType::BUF_X1,   "BUF_X1",  1,  4,  1.25, 3.2,  1.6},
+    {CellType::BUF_X2,   "BUF_X2",  1,  5,  1.50, 4.0,  1.3},
+    {CellType::NAND2,    "NAND2",   2,  3,  1.00, 1.6,  1.2},
+    {CellType::NAND3,    "NAND3",   3,  4,  1.40, 1.6,  1.5},
+    {CellType::NOR2,     "NOR2",    2,  3,  1.00, 1.6,  1.2},
+    {CellType::NOR3,     "NOR3",    3,  4,  1.40, 1.6,  1.5},
+    {CellType::XOR2,     "XOR2",    2,  9,  2.50, 4.8,  2.4},
+    {CellType::XNOR2,    "XNOR2",   2,  9,  2.50, 4.8,  2.4},
+    {CellType::MUX2,     "MUX2",    3,  7,  2.00, 3.2,  1.8},
+    {CellType::DFF_X1,   "DFF_X1",  2, 24,  7.00, 13.0, 2.8},
+    {CellType::DFF_X2,   "DFF_X2",  2, 26,  7.50, 14.5, 2.4},
+}};
+
+} // namespace
+
+const CellInfo &
+cellInfo(CellType type)
+{
+    auto idx = static_cast<size_t>(type);
+    if (idx >= kNumCellTypes)
+        panic("cellInfo: bad cell type %zu", idx);
+    return lib[idx];
+}
+
+CellType
+cellTypeByName(const std::string &name)
+{
+    for (const auto &info : lib)
+        if (name == info.name)
+            return info.type;
+    fatal("unknown standard cell '%s'", name.c_str());
+}
+
+bool
+isSequential(CellType type)
+{
+    return type == CellType::DFF_X1 || type == CellType::DFF_X2;
+}
+
+const std::array<CellInfo, kNumCellTypes> &
+cellLibrary()
+{
+    return lib;
+}
+
+} // namespace flexi

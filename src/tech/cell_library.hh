@@ -1,0 +1,83 @@
+/**
+ * @file
+ * The 13-cell 0.8 um IGZO standard-cell library.
+ *
+ * The paper's FlexLogIC flow synthesizes to a thirteen-cell library of
+ * n-type TFTs with resistive pull-ups (Figure 1): BUF (2 variants),
+ * DFF (2), INV (2), MUX, NAND2, NAND3, NOR2, NOR3, XNOR2, XOR2.
+ * Each cell carries the attributes every downstream model needs:
+ *
+ *  - device count (TFTs + pull-up resistors) — drives the defect model,
+ *  - NAND2-equivalent area — drives footprint and the <800 NAND2 limit,
+ *  - static pull-up conductance — drives the (purely static) power,
+ *  - intrinsic delay weight — drives critical path / f_max.
+ */
+
+#ifndef FLEXI_TECH_CELL_LIBRARY_HH
+#define FLEXI_TECH_CELL_LIBRARY_HH
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+namespace flexi
+{
+
+/** Identifiers for the thirteen standard cells. */
+enum class CellType : uint8_t
+{
+    INV_X1,
+    INV_X2,
+    BUF_X1,
+    BUF_X2,
+    NAND2,
+    NAND3,
+    NOR2,
+    NOR3,
+    XOR2,
+    XNOR2,
+    MUX2,
+    DFF_X1,
+    DFF_X2,
+    NumCells,
+};
+
+constexpr size_t kNumCellTypes =
+    static_cast<size_t>(CellType::NumCells);
+
+/** Static per-cell attributes. */
+struct CellInfo
+{
+    CellType type;
+    const char *name;
+    /** Number of logic inputs (DFF counts D + CLK). */
+    unsigned numInputs;
+    /** TFTs plus pull-up resistors in the cell. */
+    unsigned deviceCount;
+    /** Area in NAND2 equivalents. */
+    double nand2Area;
+    /**
+     * Static pull-up current at the 4.5 V reference supply, in uA,
+     * averaged over input states (outputs are low ~half the time in
+     * resistive-pull-up NMOS, during which the pull-up conducts).
+     */
+    double staticCurrentUa;
+    /** Delay in units of the technology's unit gate delay. */
+    double delayUnits;
+};
+
+/** Look up the attribute record for a cell type. */
+const CellInfo &cellInfo(CellType type);
+
+/** Look up a cell by its library name (e.g. "NAND2"); fatal if bad. */
+CellType cellTypeByName(const std::string &name);
+
+/** True for the sequential cells (DFF variants). */
+bool isSequential(CellType type);
+
+/** The full library, in CellType order. */
+const std::array<CellInfo, kNumCellTypes> &cellLibrary();
+
+} // namespace flexi
+
+#endif // FLEXI_TECH_CELL_LIBRARY_HH

@@ -1,0 +1,75 @@
+#include "technology.hh"
+
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace flexi
+{
+
+namespace
+{
+
+// Delay calibration: tau(V) = kDelayK / (V - Vth)^kDelayAlpha.
+// Chosen so tau(4.5 V) ~ 2.0 us and tau(3.0 V) ~ 2.9 us, which puts a
+// ~25-gate-deep FlexiCore4 critical path at ~50 us against the 80 us
+// clock period (comfortable at 4.5 V, marginal at 3 V), and the
+// roughly 1.5x longer FlexiCore8 path marginal at 4.5 V — matching
+// the voltage sensitivity the paper reports in Section 4.1.
+constexpr double kDelayAlpha = 0.58;
+constexpr double kDelayK = 3.78e-6;   // s * V^alpha
+
+} // namespace
+
+Technology::Technology(bool pull_up_refined)
+    : refined_(pull_up_refined)
+{
+}
+
+double
+Technology::areaMm2(double nand2_equiv) const
+{
+    return nand2_equiv * kMm2PerNand2;
+}
+
+double
+Technology::unitDelay(double vdd, double vth) const
+{
+    double overdrive = vdd - vth;
+    if (overdrive <= 0.05) {
+        // Device effectively off: represent as an enormous delay
+        // rather than a division blow-up so callers see a timing
+        // failure, not NaN.
+        overdrive = 0.05;
+    }
+    return kDelayK / std::pow(overdrive, kDelayAlpha);
+}
+
+double
+Technology::staticCurrent(double ref_current_ua, double vdd) const
+{
+    if (ref_current_ua < 0)
+        panic("negative reference current");
+    // Pull-up resistors conduct whenever the output is low, so the
+    // static current scales ~linearly with the supply (the measured
+    // FC4 draw: 1.1 mA @4.5 V vs 0.73 mA @3 V, ratio 1.51 ~ 4.5/3).
+    double scale = vdd / kVddNominal;
+    double refinement = refined_ ? (1.0 / 1.5) : 1.0;
+    return ref_current_ua * 1e-6 * scale * refinement;
+}
+
+double
+Technology::staticPower(double ref_current_ua, double vdd) const
+{
+    return staticCurrent(ref_current_ua, vdd) * vdd;
+}
+
+double
+Technology::energy(double power_w, double cycles, double clock_hz)
+{
+    if (clock_hz <= 0)
+        panic("non-positive clock frequency");
+    return power_w * cycles / clock_hz;
+}
+
+} // namespace flexi

@@ -1,0 +1,97 @@
+/**
+ * @file
+ * 0.8 um IGZO technology parameters, delay and power models.
+ *
+ * Calibration anchors (all from the paper):
+ *  - TFT characteristics: Vth mean 1.29 V, sigma 0.19 V (Figure 1).
+ *  - Both FlexiCores run at f_max = 12.5 kHz (Table 4).
+ *  - >99 % of power is static (Section 3.1); power therefore scales
+ *    with area/device count, not with activity.
+ *  - FlexiCore4 draws 1.1 mA at 4.5 V and 0.73 mA at 3 V (Section 4.2)
+ *    => static current scales roughly linearly with supply voltage.
+ *  - A process refinement between the FC4 and FC8 wafers raised the
+ *    pull-up resistance by 50 %, cutting current by 1/3 (Table 4).
+ */
+
+#ifndef FLEXI_TECH_TECHNOLOGY_HH
+#define FLEXI_TECH_TECHNOLOGY_HH
+
+#include <cstddef>
+
+#include "tech/cell_library.hh"
+
+namespace flexi
+{
+
+/** Supply-voltage operating points used for wafer test. */
+constexpr double kVddNominal = 4.5;
+constexpr double kVddLow = 3.0;
+
+/** Tested clock rate (limited by the IO ring drive, Section 4.1). */
+constexpr double kClockHz = 12500.0;
+
+/** Mean and sigma of TFT threshold voltage (Figure 1). */
+constexpr double kVthMean = 1.29;
+constexpr double kVthSigma = 0.19;
+
+/**
+ * Area of one NAND2-equivalent in mm^2, calibrated so that the
+ * structural FlexiCore4 netlist (570 NAND2-eq in this library's
+ * accounting) lands on the fabricated core's 5.56 mm^2. (The paper
+ * quotes 801 NAND2-eq under its own library's accounting.)
+ */
+constexpr double kMm2PerNand2 = 5.56 / 570.0;
+
+/**
+ * Technology model: converts netlist-level quantities (cell mix,
+ * critical-path delay units, device counts) into physical area,
+ * delay, current and energy.
+ */
+class Technology
+{
+  public:
+    /**
+     * @param pull_up_refined true for wafers manufactured after the
+     *        pull-up-resistance refinement (+50 % R, 2/3 current),
+     *        i.e. the FlexiCore8 and FlexiCore4+ wafers.
+     */
+    explicit Technology(bool pull_up_refined = false);
+
+    bool pullUpRefined() const { return refined_; }
+
+    /** Physical area for a total NAND2-equivalent count. */
+    double areaMm2(double nand2_equiv) const;
+
+    /**
+     * Unit gate delay in seconds at supply @p vdd for a die whose
+     * mean threshold voltage is @p vth. Modeled as
+     * tau = K / (vdd - vth)^alpha; K and alpha are calibrated so the
+     * FlexiCore4 critical path meets 12.5 kHz with margin at 4.5 V
+     * and marginally at 3 V (Section 4.1's observed yield drop).
+     */
+    double unitDelay(double vdd, double vth = kVthMean) const;
+
+    /**
+     * Static current in amps at supply @p vdd for a cell mix whose
+     * summed reference currents are @p ref_current_ua (the per-cell
+     * staticCurrentUa values are quoted at 4.5 V, pre-refinement).
+     */
+    double staticCurrent(double ref_current_ua, double vdd) const;
+
+    /** Static power in watts. */
+    double staticPower(double ref_current_ua, double vdd) const;
+
+    /**
+     * Energy in joules to run @p cycles cycles at @p clock_hz given a
+     * static power @p power_w. Since >99 % of power is static this is
+     * simply power x time.
+     */
+    static double energy(double power_w, double cycles, double clock_hz);
+
+  private:
+    bool refined_;
+};
+
+} // namespace flexi
+
+#endif // FLEXI_TECH_TECHNOLOGY_HH

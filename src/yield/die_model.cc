@@ -1,0 +1,106 @@
+#include "die_model.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace flexi
+{
+
+namespace
+{
+
+/** Poisson sample via inversion (small means only). */
+unsigned
+poisson(double mean, Rng &rng)
+{
+    if (mean <= 0)
+        return 0;
+    double l = std::exp(-mean);
+    double p = 1.0;
+    unsigned k = 0;
+    do {
+        ++k;
+        p *= rng.uniform();
+    } while (p > l && k < 1000);
+    return k - 1;
+}
+
+} // namespace
+
+DieModel::DieModel(DesignSpec spec, DieModelParams params)
+    : spec_(std::move(spec)), params_(params),
+      tech_(spec_.pullUpRefined)
+{
+    if (spec_.devices == 0 || spec_.critDelayUnits <= 0)
+        fatal("DesignSpec for '%s' is incomplete", spec_.name.c_str());
+}
+
+DieSample
+DieModel::sample(const DieSite &site, const WaferMap &wafer,
+                 Rng &rng) const
+{
+    DieSample die;
+
+    // Radial aggravation beyond the inclusion ring (edge effects:
+    // coating non-uniformity, handling damage).
+    double incl = wafer.inclusionRadiusMm();
+    double rim = wafer.diameterMm() / 2.0;
+    double frac = 0.0;
+    if (site.radiusMm > incl && rim > incl)
+        frac = std::min(1.0, (site.radiusMm - incl) / (rim - incl));
+
+    double defect_rate = params_.defectPerDevice *
+        (1.0 + (params_.edgeDefectMultiplier - 1.0) * frac);
+    die.defects = poisson(defect_rate * spec_.devices, rng);
+
+    die.vth = rng.gaussian(kVthMean + params_.edgeVthShift * frac,
+                           params_.vthSigma);
+    die.speedFactor = std::exp(rng.gaussian(0.0, spec_.speedSigma));
+    die.currentFactor =
+        std::exp(rng.gaussian(0.0, spec_.currentSigma));
+    return die;
+}
+
+double
+DieModel::critPathDelay(const DieSample &die, double vdd) const
+{
+    return spec_.critDelayUnits * tech_.unitDelay(vdd, die.vth) *
+           die.speedFactor;
+}
+
+bool
+DieModel::meetsTiming(const DieSample &die, double vdd) const
+{
+    return critPathDelay(die, vdd) <= 1.0 / kClockHz;
+}
+
+bool
+DieModel::functional(const DieSample &die, double vdd) const
+{
+    return !die.hasDefects() && meetsTiming(die, vdd);
+}
+
+double
+DieModel::currentDraw(const DieSample &die, double vdd) const
+{
+    return tech_.staticCurrent(spec_.refCurrentUa, vdd) *
+           die.currentFactor;
+}
+
+double
+DieModel::expectedTimingErrors(const DieSample &die, double vdd,
+                               uint64_t cycles) const
+{
+    double period = 1.0 / kClockHz;
+    double delay = critPathDelay(die, vdd);
+    if (delay <= period)
+        return 0.0;
+    // The fraction of vectors that exercise near-critical paths and
+    // therefore miss the clock grows with the margin shortfall.
+    double shortfall = std::min(1.0, (delay - period) / period);
+    return shortfall * 0.3 * static_cast<double>(cycles);
+}
+
+} // namespace flexi

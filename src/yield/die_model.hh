@@ -1,0 +1,119 @@
+/**
+ * @file
+ * Per-die manufacturing outcome model.
+ *
+ * Three physical effects determine whether a die works (Section 4):
+ *
+ *  1. Hard defects — Poisson-distributed with the device count
+ *     (FlexiCore8's ~11 % more devices is why its yield trails
+ *     FlexiCore4's), aggravated toward the wafer edge (the reason
+ *     for the 16 mm exclusion ring).
+ *  2. Threshold-voltage variation — die-level V_th drawn around the
+ *     1.29 V / 0.19 V TFT statistics (Figure 1); gate delay grows as
+ *     the overdrive (Vdd - Vth) shrinks, so low supply voltage turns
+ *     V_th spread into timing faults. FlexiCore8's ripple adder has
+ *     roughly twice FlexiCore4's carry chain, producing the 3 V
+ *     yield cliff of Table 5.
+ *  3. Current-draw variation — lognormal spread around the nominal
+ *     static draw (RSD 15.3 % / 21.5 % measured, Section 4.2).
+ *
+ * All constants live in DieModelParams; EXPERIMENTS.md records the
+ * calibration against the paper's Table 5 / Figure 7 values.
+ */
+
+#ifndef FLEXI_YIELD_DIE_MODEL_HH
+#define FLEXI_YIELD_DIE_MODEL_HH
+
+#include <string>
+
+#include "common/rng.hh"
+#include "tech/technology.hh"
+#include "yield/wafer.hh"
+
+namespace flexi
+{
+
+/** Physical summary of a design, extracted from its netlist. */
+struct DesignSpec
+{
+    std::string name;
+    unsigned devices = 0;
+    /** Critical path length in unit gate delays. */
+    double critDelayUnits = 0.0;
+    /** Sum of per-cell reference static currents (uA at 4.5 V). */
+    double refCurrentUa = 0.0;
+    /** Manufactured after the pull-up refinement (Table 4)? */
+    bool pullUpRefined = false;
+    /** Lognormal sigma of per-die current draw (Section 4.2). */
+    double currentSigma = 0.153;
+    /** Lognormal sigma of per-die speed (process speed spread). */
+    double speedSigma = 0.16;
+};
+
+/** Calibration constants for the die outcome model. */
+struct DieModelParams
+{
+    /** Poisson hard-defect rate per device (inclusion zone). */
+    double defectPerDevice = 9.3e-5;
+    /** Edge ramp: defect rate multiplier grows to this at the rim. */
+    double edgeDefectMultiplier = 16.0;
+    /** Additional die-level Vth sigma from across-wafer gradients. */
+    double vthSigma = kVthSigma;
+    /** Radial Vth shift at the rim (V) — edge devices are slower. */
+    double edgeVthShift = 0.25;
+};
+
+/** Sampled manufacturing outcome for one die. */
+struct DieSample
+{
+    unsigned defects = 0;       ///< hard stuck-at defects
+    double vth = kVthMean;      ///< die-mean threshold voltage
+    double speedFactor = 1.0;   ///< lognormal delay multiplier
+    double currentFactor = 1.0; ///< lognormal current multiplier
+
+    bool hasDefects() const { return defects > 0; }
+};
+
+/** Samples dies and evaluates pass/fail criteria. */
+class DieModel
+{
+  public:
+    DieModel(DesignSpec spec, DieModelParams params = {});
+
+    const DesignSpec &spec() const { return spec_; }
+    const DieModelParams &params() const { return params_; }
+
+    /** Sample the manufacturing outcome of a die at @p site. */
+    DieSample sample(const DieSite &site, const WaferMap &wafer,
+                     Rng &rng) const;
+
+    /** Critical-path delay of a die at supply @p vdd, seconds. */
+    double critPathDelay(const DieSample &die, double vdd) const;
+
+    /** Does the die meet the 12.5 kHz test clock at @p vdd? */
+    bool meetsTiming(const DieSample &die, double vdd) const;
+
+    /** Fully functional = no hard defects and meets timing. */
+    bool functional(const DieSample &die, double vdd) const;
+
+    /** Static current draw of the die at @p vdd (amps). */
+    double currentDraw(const DieSample &die, double vdd) const;
+
+    /**
+     * Expected output-error count on an n-cycle test for a die that
+     * fails *timing* (intermittent, margin-dependent); hard-defect
+     * dies get their error counts from gate-level fault simulation
+     * instead.
+     */
+    double expectedTimingErrors(const DieSample &die, double vdd,
+                                uint64_t cycles) const;
+
+  private:
+    DesignSpec spec_;
+    DieModelParams params_;
+    Technology tech_;
+};
+
+} // namespace flexi
+
+#endif // FLEXI_YIELD_DIE_MODEL_HH

@@ -1,0 +1,73 @@
+#include "test_program.hh"
+
+#include "assembler/assembler.hh"
+#include "common/logging.hh"
+#include "common/rng.hh"
+
+namespace flexi
+{
+
+Program
+makeTestProgram(IsaKind isa, uint64_t seed)
+{
+    if (isa != IsaKind::FlexiCore4 && isa != IsaKind::FlexiCore8)
+        fatal("wafer test programs target the fabricated cores");
+
+    // Directed prologue: every instruction class, both IO ports,
+    // every memory word, branch taken and not taken.
+    std::string directed;
+    bool fc8 = isa == IsaKind::FlexiCore8;
+    unsigned words = fc8 ? 4 : 8;
+    directed += "load r0\n";
+    for (unsigned w = 2; w < words; ++w)
+        directed += strfmt("store r%u\n", w);
+    directed += "addi 5\nstore r1\n";
+    directed += "nandi 3\nxori 0xF\n";
+    for (unsigned w = 2; w < words; ++w) {
+        directed += strfmt("add r%u\n", w);
+        directed += strfmt("nand r%u\n", w);
+        directed += strfmt("xor r%u\n", w);
+    }
+    directed += "store r1\n";
+    if (fc8)
+        directed += "ldb 0xA5\nstore r1\nldb 0x5A\nstore r1\n";
+    // Branch not taken (ACC forced positive), then taken.
+    directed += "nandi 0\nxori 0xF\nbr 0\n";   // ACC = 0: not taken
+    directed += "load r0\nxor r0\nstore r1\n";
+
+    Program skeleton = assemble(isa, directed);
+    std::vector<uint8_t> image = skeleton.page(0);
+
+    // Randomized body: branch-free random bytes so the whole page
+    // executes end-to-end (a branch-free byte has bit 7 clear; the
+    // FlexiCore8 ldb prefix is also excluded so program length stays
+    // aligned).
+    Rng rng(seed ^ 0x7E57F1E5);
+    while (image.size() < kPageSize - 2) {
+        uint8_t b = static_cast<uint8_t>(rng.below(128));
+        if (fc8 && b == 0x08)
+            continue;
+        image.push_back(b);
+    }
+    // Wrap: force ACC negative and branch to 0.
+    image.push_back(0x50);   // nandi 0
+    image.push_back(0x80);   // br 0 (taken: ACC MSB set)
+
+    Program prog(isa);
+    prog.appendBytes(0, image);
+    return prog;
+}
+
+std::vector<uint8_t>
+makeTestInputs(IsaKind isa, size_t n, uint64_t seed)
+{
+    unsigned mask = (1u << isaDataWidth(isa)) - 1u;
+    Rng rng(seed ^ 0x1AB57E57);
+    std::vector<uint8_t> in;
+    in.reserve(n);
+    for (size_t i = 0; i < n; ++i)
+        in.push_back(static_cast<uint8_t>(rng.next() & mask));
+    return in;
+}
+
+} // namespace flexi

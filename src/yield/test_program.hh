@@ -1,0 +1,35 @@
+/**
+ * @file
+ * Die-test program and stimulus generation.
+ *
+ * Section 4.1: dies were exercised with >100,000 cycles of "random
+ * and directed test vectors" that "stimulate all regions of the
+ * cores", with every gate toggling at least once. The generator
+ * builds a single-page program: a directed prologue covering every
+ * instruction class, a randomized body (branch-free so the sweep
+ * length is deterministic), and an unconditional wrap back to
+ * address 0 so the pattern repeats for as many cycles as the test
+ * budget allows.
+ */
+
+#ifndef FLEXI_YIELD_TEST_PROGRAM_HH
+#define FLEXI_YIELD_TEST_PROGRAM_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "assembler/program.hh"
+
+namespace flexi
+{
+
+/** Build the wafer-test program for a fabricated ISA. */
+Program makeTestProgram(IsaKind isa, uint64_t seed);
+
+/** Random input-bus stimulus values (masked to the data width). */
+std::vector<uint8_t> makeTestInputs(IsaKind isa, size_t n,
+                                    uint64_t seed);
+
+} // namespace flexi
+
+#endif // FLEXI_YIELD_TEST_PROGRAM_HH

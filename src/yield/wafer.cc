@@ -1,0 +1,54 @@
+#include "wafer.hh"
+
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace flexi
+{
+
+WaferMap::WaferMap(double diameter_mm, double pitch_mm,
+                   double edge_exclusion_mm)
+    : diameter_(diameter_mm), pitch_(pitch_mm),
+      edgeExclusion_(edge_exclusion_mm)
+{
+    if (diameter_ <= 0 || pitch_ <= 0 || edgeExclusion_ < 0)
+        fatal("bad wafer geometry");
+
+    double radius = diameter_ / 2.0;
+    double incl = inclusionRadiusMm();
+    int half = static_cast<int>(radius / pitch_) + 1;
+    for (int row = -half; row <= half; ++row) {
+        for (int col = -half; col <= half; ++col) {
+            DieSite site;
+            site.col = col;
+            site.row = row;
+            site.xMm = (col + 0.5) * pitch_;
+            site.yMm = (row + 0.5) * pitch_;
+            site.radiusMm = std::hypot(site.xMm, site.yMm);
+            // Whole die must be on the wafer: require the die-center
+            // within radius minus half a pitch diagonal margin.
+            if (site.radiusMm > radius)
+                continue;
+            site.inInclusionZone = site.radiusMm <= incl;
+            sites_.push_back(site);
+        }
+    }
+}
+
+size_t
+WaferMap::numInclusionDies() const
+{
+    size_t n = 0;
+    for (const auto &s : sites_)
+        n += s.inInclusionZone;
+    return n;
+}
+
+double
+WaferMap::inclusionRadiusMm() const
+{
+    return diameter_ / 2.0 - edgeExclusion_;
+}
+
+} // namespace flexi

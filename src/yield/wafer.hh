@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Wafer geometry model.
+ *
+ * The fabricated wafers are 200 mm polyimide with 123 FlexiCore dies
+ * (Figure 4); yields are reported both for the full wafer and after
+ * disregarding the 16 mm edge exclusion ring (Table 5, the red ring
+ * in Figure 4). A 16 mm die pitch on a 200 mm circle reproduces the
+ * 123-die count.
+ */
+
+#ifndef FLEXI_YIELD_WAFER_HH
+#define FLEXI_YIELD_WAFER_HH
+
+#include <cstddef>
+#include <vector>
+
+namespace flexi
+{
+
+/** Default geometry constants (mm). */
+constexpr double kWaferDiameterMm = 200.0;
+constexpr double kEdgeExclusionMm = 16.0;
+constexpr double kDiePitchMm = 16.0;
+
+/** One die location on the wafer. */
+struct DieSite
+{
+    int col = 0;
+    int row = 0;
+    double xMm = 0.0;        ///< die-center X, wafer-centered
+    double yMm = 0.0;
+    double radiusMm = 0.0;   ///< distance from wafer center
+    bool inInclusionZone = false;
+};
+
+/** The grid of dies that fit on a wafer. */
+class WaferMap
+{
+  public:
+    /**
+     * @param diameter_mm wafer diameter
+     * @param pitch_mm die pitch (die + scribe)
+     * @param edge_exclusion_mm width of the edge exclusion ring
+     */
+    explicit WaferMap(double diameter_mm = kWaferDiameterMm,
+                      double pitch_mm = kDiePitchMm,
+                      double edge_exclusion_mm = kEdgeExclusionMm);
+
+    const std::vector<DieSite> &sites() const { return sites_; }
+    size_t numDies() const { return sites_.size(); }
+    size_t numInclusionDies() const;
+
+    double diameterMm() const { return diameter_; }
+    double pitchMm() const { return pitch_; }
+    /** Radius inside which dies count toward inclusion-zone yield. */
+    double inclusionRadiusMm() const;
+
+  private:
+    double diameter_;
+    double pitch_;
+    double edgeExclusion_;
+    std::vector<DieSite> sites_;
+};
+
+} // namespace flexi
+
+#endif // FLEXI_YIELD_WAFER_HH

@@ -1,0 +1,164 @@
+#include "wafer_study.hh"
+
+#include <cmath>
+
+#include "common/logging.hh"
+#include "netlist/flexicore_netlist.hh"
+#include "netlist/lockstep.hh"
+#include "yield/test_program.hh"
+
+namespace flexi
+{
+
+DesignSpec
+designSpecFor(IsaKind isa)
+{
+    DesignSpec spec;
+    std::unique_ptr<Netlist> nl;
+    switch (isa) {
+      case IsaKind::FlexiCore4:
+        nl = buildFlexiCore4Netlist();
+        spec.pullUpRefined = false;
+        spec.currentSigma = 0.153;   // measured RSD, Section 4.2
+        break;
+      case IsaKind::FlexiCore8:
+        nl = buildFlexiCore8Netlist();
+        spec.pullUpRefined = true;   // post process-refinement wafer
+        spec.currentSigma = 0.215;
+        break;
+      default:
+        fatal("no fabricated netlist for %s", isaName(isa));
+    }
+    spec.name = nl->name();
+    spec.devices = nl->totalDevices();
+    spec.critDelayUnits = nl->criticalPathDelayUnits();
+    spec.refCurrentUa = nl->totalStaticCurrentUa();
+    return spec;
+}
+
+namespace
+{
+
+/** Probe one die at one voltage. */
+DieProbe
+probeDie(const DieModel &model, const DieSample &die, double vdd,
+         const WaferStudyConfig &cfg, Netlist *faulty_netlist,
+         const Program &test_prog,
+         const std::vector<uint8_t> &test_inputs, Rng &rng)
+{
+    DieProbe probe;
+    probe.currentA = model.currentDraw(die, vdd);
+
+    uint64_t errors = 0;
+    if (die.hasDefects()) {
+        if (cfg.gateLevelErrors && faulty_netlist) {
+            LockstepResult res =
+                runLockstep(*faulty_netlist, cfg.isa, test_prog,
+                            test_inputs, cfg.testCycles);
+            errors += res.errors;
+            // A defect that the vectors happen to miss still usually
+            // perturbs analog margins; count the die as suspect with
+            // at least one error only if the fault sim saw any.
+        } else {
+            // Statistical fallback: defects corrupt a sizable share
+            // of cycles.
+            errors += 1 + rng.below(cfg.testCycles / 2);
+        }
+    }
+
+    double expected =
+        model.expectedTimingErrors(die, vdd, cfg.testCycles);
+    if (expected > 0) {
+        // Intermittent timing faults: at least one error once the
+        // margin is gone.
+        errors += 1 + static_cast<uint64_t>(
+            expected * (0.5 + rng.uniform()));
+    }
+
+    probe.errors = errors;
+    return probe;
+}
+
+std::unique_ptr<Netlist>
+buildNetlist(IsaKind isa)
+{
+    return isa == IsaKind::FlexiCore4 ? buildFlexiCore4Netlist()
+                                      : buildFlexiCore8Netlist();
+}
+
+} // namespace
+
+double
+WaferStudyResult::yield(double vdd, bool inclusion_only) const
+{
+    size_t total = 0, good = 0;
+    for (const auto &die : dies) {
+        if (inclusion_only && !die.site.inInclusionZone)
+            continue;
+        ++total;
+        const DieProbe &probe = vdd > 4.0 ? die.at45V : die.at3V;
+        good += probe.functional();
+    }
+    return total ? static_cast<double>(good) / total : 0.0;
+}
+
+RunningStat
+WaferStudyResult::currentStats(double vdd) const
+{
+    RunningStat st;
+    for (const auto &die : dies) {
+        const DieProbe &probe = vdd > 4.0 ? die.at45V : die.at3V;
+        if (probe.functional())
+            st.add(probe.currentA);
+    }
+    return st;
+}
+
+WaferStudyResult
+runWaferStudy(const WaferStudyConfig &config)
+{
+    WaferMap wafer;
+    DesignSpec spec = designSpecFor(config.isa);
+    DieModel model(spec, config.params);
+    Rng rng(config.seed ^ 0x3AFE12D1E5ull);
+
+    Program test_prog = makeTestProgram(config.isa, config.seed);
+    std::vector<uint8_t> test_inputs =
+        makeTestInputs(config.isa, 256, config.seed);
+
+    WaferStudyResult result;
+    result.config = config;
+    result.spec = spec;
+    result.dies.reserve(wafer.numDies());
+
+    for (const DieSite &site : wafer.sites()) {
+        DieResult die;
+        die.site = site;
+        die.sample = model.sample(site, wafer, rng);
+
+        // Build the die's faulty netlist once (if it has defects);
+        // probe at both voltages like the real test flow.
+        std::unique_ptr<Netlist> faulty;
+        if (die.sample.hasDefects() && config.gateLevelErrors) {
+            faulty = buildNetlist(config.isa);
+            for (unsigned d = 0; d < die.sample.defects; ++d) {
+                NetId net = static_cast<NetId>(
+                    rng.below(faulty->numNets()));
+                faulty->injectFault({net, rng.chance(0.5)});
+            }
+        }
+
+        die.at45V = probeDie(model, die.sample, kVddNominal, config,
+                             faulty.get(), test_prog, test_inputs,
+                             rng);
+        if (faulty)
+            faulty->reset();
+        die.at3V = probeDie(model, die.sample, kVddLow, config,
+                            faulty.get(), test_prog, test_inputs,
+                            rng);
+        result.dies.push_back(std::move(die));
+    }
+    return result;
+}
+
+} // namespace flexi

@@ -1,0 +1,281 @@
+/**
+ * @file
+ * Unit tests for the two-pass assembler.
+ */
+
+#include <gtest/gtest.h>
+
+#include "assembler/assembler.hh"
+#include "common/logging.hh"
+#include "isa/disassembler.hh"
+#include "isa/encoding.hh"
+
+namespace flexi
+{
+namespace
+{
+
+TEST(Assembler, SimpleProgram)
+{
+    Program p = assemble(IsaKind::FlexiCore4, R"(
+        ; set ACC to 0xF and spin
+        nandi 0
+        end: br end
+    )");
+    ASSERT_EQ(p.numPages(), 1u);
+    const auto &img = p.page(0);
+    ASSERT_EQ(img.size(), 2u);
+    EXPECT_EQ(img[0], 0x50);          // nandi 0
+    EXPECT_EQ(img[1], 0x81);          // br 1
+    EXPECT_EQ(p.staticInstructions(), 2u);
+    EXPECT_EQ(p.codeSizeBits(), 16u);
+}
+
+TEST(Assembler, LabelsResolveForward)
+{
+    Program p = assemble(IsaKind::FlexiCore4, R"(
+        br skip
+        addi 1
+        skip: addi 2
+    )");
+    EXPECT_EQ(p.page(0)[0], 0x82);    // br 2
+    EXPECT_EQ(p.symbol("skip").addr, 2u);
+}
+
+TEST(Assembler, CommentStyles)
+{
+    Program p = assemble(IsaKind::FlexiCore4,
+        "addi 1 ; semicolon\naddi 2 # hash\naddi 3 // slashes\n");
+    EXPECT_EQ(p.staticInstructions(), 3u);
+}
+
+TEST(Assembler, NegativeImmediatesMask)
+{
+    Program p = assemble(IsaKind::FlexiCore4, "addi -3\n");
+    EXPECT_EQ(p.page(0)[0], 0x4D);    // -3 -> 0b1101
+}
+
+TEST(Assembler, HexAndBinaryLiterals)
+{
+    Program p = assemble(IsaKind::FlexiCore4, "addi 0xA\nxori 0b101\n");
+    EXPECT_EQ(p.page(0)[0], 0x4A);
+    EXPECT_EQ(p.page(0)[1], 0x65);
+}
+
+TEST(Assembler, RegisterOperands)
+{
+    Program p = assemble(IsaKind::FlexiCore4,
+                         "load r2\nstore r7\nadd r3\n");
+    EXPECT_EQ(p.page(0)[0], 0x32);
+    EXPECT_EQ(p.page(0)[1], 0x3F);
+    EXPECT_EQ(p.page(0)[2], 0x03);
+}
+
+TEST(Assembler, ErrorsCarryLineNumbers)
+{
+    try {
+        assemble(IsaKind::FlexiCore4, "addi 1\nbogus 2\n");
+        FAIL() << "expected FatalError";
+    } catch (const FatalError &e) {
+        EXPECT_NE(std::string(e.what()).find("line 2"),
+                  std::string::npos);
+    }
+}
+
+TEST(Assembler, UndefinedLabelFails)
+{
+    EXPECT_THROW(assemble(IsaKind::FlexiCore4, "br nowhere\n"),
+                 FatalError);
+}
+
+TEST(Assembler, DuplicateLabelFails)
+{
+    EXPECT_THROW(
+        assemble(IsaKind::FlexiCore4, "a: addi 1\na: addi 2\n"),
+        FatalError);
+}
+
+TEST(Assembler, ImmediateRangeChecked)
+{
+    EXPECT_THROW(assemble(IsaKind::FlexiCore4, "addi 16\n"),
+                 FatalError);
+    EXPECT_THROW(assemble(IsaKind::FlexiCore4, "addi -9\n"),
+                 FatalError);
+    EXPECT_THROW(assemble(IsaKind::FlexiCore4, "load r8\n"),
+                 FatalError);
+}
+
+TEST(Assembler, PageOverflowDetected)
+{
+    std::string src;
+    for (int i = 0; i < 129; ++i)
+        src += "addi 1\n";
+    EXPECT_THROW(assemble(IsaKind::FlexiCore4, src), FatalError);
+}
+
+TEST(Assembler, MultiPagePrograms)
+{
+    Program p = assemble(IsaKind::FlexiCore4, R"(
+        addi 1
+        .page 1
+        entry: addi 2
+        br entry
+    )");
+    EXPECT_EQ(p.numPages(), 2u);
+    EXPECT_EQ(p.page(0).size(), 1u);
+    EXPECT_EQ(p.page(1).size(), 2u);
+    EXPECT_EQ(p.symbol("entry").page, 1u);
+    EXPECT_EQ(p.symbol("entry").addr, 0u);
+}
+
+TEST(Assembler, CrossPageBranchRejected)
+{
+    EXPECT_THROW(assemble(IsaKind::FlexiCore4, R"(
+        tgt: addi 1
+        .page 1
+        br tgt
+    )"), FatalError);
+}
+
+TEST(Assembler, OrgPadsWithZeros)
+{
+    Program p = assemble(IsaKind::FlexiCore4, R"(
+        addi 1
+        .org 4
+        dest: addi 2
+        br dest
+    )");
+    EXPECT_EQ(p.page(0).size(), 6u);
+    EXPECT_EQ(p.page(0)[2], 0x00);
+    EXPECT_EQ(p.symbol("dest").addr, 4u);
+    EXPECT_EQ(p.page(0)[5], 0x84);
+}
+
+TEST(Assembler, ByteDirective)
+{
+    Program p = assemble(IsaKind::FlexiCore4, ".byte 0xAB 0x12\n");
+    EXPECT_EQ(p.page(0)[0], 0xAB);
+    EXPECT_EQ(p.page(0)[1], 0x12);
+}
+
+TEST(Assembler, Fc8LoadByte)
+{
+    Program p = assemble(IsaKind::FlexiCore8, "ldb 0xC3\naddi -1\n");
+    ASSERT_EQ(p.page(0).size(), 3u);
+    EXPECT_EQ(p.page(0)[0], 0x08);
+    EXPECT_EQ(p.page(0)[1], 0xC3);
+    EXPECT_EQ(p.staticInstructions(), 2u);
+    EXPECT_EQ(p.codeSizeBits(), 24u);
+}
+
+TEST(Assembler, Fc8RejectsWideAddress)
+{
+    EXPECT_THROW(assemble(IsaKind::FlexiCore8, "load r4\n"),
+                 FatalError);
+}
+
+TEST(Assembler, ExtAccConditionCodes)
+{
+    Program p = assemble(IsaKind::ExtAcc4, R"(
+        top: sub r2
+        br.z top
+        br.nzp top
+        call top
+        ret
+    )");
+    EXPECT_EQ(p.staticInstructions(), 5u);
+    // sub(1) + br(2) + br(2) + call(2) + ret(1) bytes.
+    EXPECT_EQ(p.page(0).size(), 8u);
+}
+
+TEST(Assembler, ExtAccUnconditionalBranchViaNzp)
+{
+    Program p = assemble(IsaKind::ExtAcc4, "loop: br.nzp loop\n");
+    DecodeResult dec = decodeAt(IsaKind::ExtAcc4, p.page(0), 0);
+    EXPECT_EQ(dec.inst.cond, kCondAlways);
+}
+
+TEST(Assembler, BaseIsaRejectsConditionCodes)
+{
+    EXPECT_THROW(
+        assemble(IsaKind::FlexiCore4, "x: br.z x\n"), FatalError);
+}
+
+TEST(Assembler, ExtAccRejectsNand)
+{
+    // The revised op set replaces NAND with AND/OR (Section 6.1).
+    EXPECT_THROW(assemble(IsaKind::ExtAcc4, "nandi 0\n"), FatalError);
+}
+
+TEST(Assembler, LoadStoreTwoOperands)
+{
+    Program p = assemble(IsaKind::LoadStore4, R"(
+        movi r2, 5
+        add r2, r3
+        loop: br.nzp loop
+    )");
+    EXPECT_EQ(p.staticInstructions(), 3u);
+    EXPECT_EQ(p.page(0).size(), 6u);   // 3 x 16-bit
+    DecodeResult dec = decodeAt(IsaKind::LoadStore4, p.page(0), 1);
+    EXPECT_EQ(dec.inst.op, Op::Add);
+    EXPECT_EQ(dec.inst.rd, 2u);
+    EXPECT_EQ(dec.inst.operand, 3u);
+}
+
+TEST(Assembler, LoadStoreRejectsAccumulatorOnlyOps)
+{
+    EXPECT_THROW(assemble(IsaKind::LoadStore4, "load r2\n"),
+                 FatalError);
+}
+
+TEST(Assembler, EquConstants)
+{
+    Program p = assemble(IsaKind::FlexiCore4, R"(
+        .equ THRESHOLD 5
+        .equ NEG_STEP -3
+        addi THRESHOLD
+        addi NEG_STEP
+        .equ TARGET 2
+        nandi 0
+        br TARGET
+    )");
+    EXPECT_EQ(p.page(0)[0], 0x45);     // addi 5
+    EXPECT_EQ(p.page(0)[1], 0x4D);     // addi -3
+    EXPECT_EQ(p.page(0)[3], 0x82);     // br 2
+}
+
+TEST(Assembler, EquUndefinedNameFails)
+{
+    EXPECT_THROW(assemble(IsaKind::FlexiCore4, "addi NOPE\n"),
+                 FatalError);
+}
+
+TEST(Assembler, EquNeedsNameAndValue)
+{
+    EXPECT_THROW(assemble(IsaKind::FlexiCore4, ".equ ONLYNAME\n"),
+                 FatalError);
+}
+
+/** Round-trip: disassemble a page and reassemble it identically. */
+TEST(Assembler, DisassembleRoundTrip)
+{
+    Program p = assemble(IsaKind::FlexiCore4, R"(
+        load r2
+        addi 7
+        nand r3
+        xori 0xF
+        store r4
+        x: br x
+    )");
+    std::string listing;
+    for (size_t pc = 0; pc < p.page(0).size(); ++pc) {
+        DecodeResult dec = decodeAt(IsaKind::FlexiCore4, p.page(0),
+                                    static_cast<unsigned>(pc));
+        listing += disassemble(IsaKind::FlexiCore4, dec.inst) + "\n";
+    }
+    Program q = assemble(IsaKind::FlexiCore4, listing);
+    EXPECT_EQ(p.page(0), q.page(0));
+}
+
+} // namespace
+} // namespace flexi

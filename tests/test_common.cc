@@ -1,0 +1,200 @@
+/**
+ * @file
+ * Unit tests for the common utilities (logging, bitops, RNG, stats).
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "common/bitops.hh"
+#include "common/logging.hh"
+#include "common/rng.hh"
+#include "common/stats.hh"
+
+namespace flexi
+{
+namespace
+{
+
+TEST(Logging, PanicThrowsPanicError)
+{
+    EXPECT_THROW(panic("boom %d", 42), PanicError);
+}
+
+TEST(Logging, FatalThrowsFatalError)
+{
+    EXPECT_THROW(fatal("user error %s", "x"), FatalError);
+}
+
+TEST(Logging, MessagesAreFormatted)
+{
+    try {
+        fatal("value=%d name=%s", 7, "core");
+        FAIL() << "fatal did not throw";
+    } catch (const FatalError &e) {
+        EXPECT_STREQ(e.what(), "fatal: value=7 name=core");
+    }
+}
+
+TEST(Logging, StrfmtFormats)
+{
+    EXPECT_EQ(strfmt("%04x", 0xAB), "00ab");
+    EXPECT_EQ(strfmt("plain"), "plain");
+}
+
+TEST(Bitops, Bits)
+{
+    EXPECT_EQ(bits(0b11011010u, 7, 4), 0b1101u);
+    EXPECT_EQ(bits(0b11011010u, 3, 0), 0b1010u);
+    EXPECT_EQ(bits(0xFFFFFFFFu, 31, 0), 0xFFFFFFFFu);
+}
+
+TEST(Bitops, Bit)
+{
+    EXPECT_TRUE(bit(0b1000u, 3));
+    EXPECT_FALSE(bit(0b1000u, 2));
+}
+
+TEST(Bitops, MaskBits)
+{
+    EXPECT_EQ(maskBits(0xFFu, 4), 0xFu);
+    EXPECT_EQ(maskBits(0x12345678u, 32), 0x12345678u);
+}
+
+TEST(Bitops, SignExtend)
+{
+    EXPECT_EQ(signExtend(0xF, 4), -1);
+    EXPECT_EQ(signExtend(0x7, 4), 7);
+    EXPECT_EQ(signExtend(0x8, 4), -8);
+    EXPECT_EQ(signExtend(0b101, 3), -3);
+    EXPECT_EQ(signExtend(0b011, 3), 3);
+}
+
+TEST(Bitops, PopcountAndParity)
+{
+    EXPECT_EQ(popcount(0xFF, 8), 8u);
+    EXPECT_EQ(popcount(0b1011, 4), 3u);
+    EXPECT_EQ(parity(0b1011, 4), 1u);
+    EXPECT_EQ(parity(0b1001, 4), 0u);
+}
+
+TEST(Rng, Deterministic)
+{
+    Rng a(123), b(123);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiffer)
+{
+    Rng a(1), b(2);
+    bool any_diff = false;
+    for (int i = 0; i < 10; ++i)
+        any_diff |= a.next() != b.next();
+    EXPECT_TRUE(any_diff);
+}
+
+TEST(Rng, UniformInRange)
+{
+    Rng rng(7);
+    for (int i = 0; i < 1000; ++i) {
+        double u = rng.uniform();
+        EXPECT_GE(u, 0.0);
+        EXPECT_LT(u, 1.0);
+    }
+}
+
+TEST(Rng, BelowCoversRange)
+{
+    Rng rng(7);
+    std::set<uint64_t> seen;
+    for (int i = 0; i < 300; ++i)
+        seen.insert(rng.below(8));
+    EXPECT_EQ(seen.size(), 8u);
+    EXPECT_EQ(*seen.rbegin(), 7u);
+}
+
+TEST(Rng, RangeInclusive)
+{
+    Rng rng(9);
+    for (int i = 0; i < 500; ++i) {
+        int64_t v = rng.range(-3, 3);
+        EXPECT_GE(v, -3);
+        EXPECT_LE(v, 3);
+    }
+}
+
+TEST(Rng, GaussianMoments)
+{
+    Rng rng(42);
+    RunningStat st;
+    for (int i = 0; i < 20000; ++i)
+        st.add(rng.gaussian(10.0, 2.0));
+    EXPECT_NEAR(st.mean(), 10.0, 0.1);
+    EXPECT_NEAR(st.stddev(), 2.0, 0.1);
+}
+
+TEST(Rng, ChanceProbability)
+{
+    Rng rng(42);
+    int hits = 0;
+    for (int i = 0; i < 10000; ++i)
+        hits += rng.chance(0.3);
+    EXPECT_NEAR(hits / 10000.0, 0.3, 0.03);
+}
+
+TEST(RunningStat, Empty)
+{
+    RunningStat st;
+    EXPECT_EQ(st.count(), 0u);
+    EXPECT_EQ(st.mean(), 0.0);
+    EXPECT_EQ(st.stddev(), 0.0);
+}
+
+TEST(RunningStat, KnownValues)
+{
+    RunningStat st;
+    for (double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0})
+        st.add(v);
+    EXPECT_DOUBLE_EQ(st.mean(), 5.0);
+    // Sample stddev of this classic set is sqrt(32/7).
+    EXPECT_NEAR(st.stddev(), std::sqrt(32.0 / 7.0), 1e-12);
+    EXPECT_EQ(st.min(), 2.0);
+    EXPECT_EQ(st.max(), 9.0);
+}
+
+TEST(RunningStat, Rsd)
+{
+    RunningStat st;
+    st.add(90.0);
+    st.add(110.0);
+    EXPECT_NEAR(st.rsd(), st.stddev() / 100.0, 1e-12);
+}
+
+TEST(TextTable, RendersAligned)
+{
+    TextTable t({"name", "value"});
+    t.addRow({"alpha", "1"});
+    t.addRow({"b", "22"});
+    std::string s = t.str();
+    EXPECT_NE(s.find("name"), std::string::npos);
+    EXPECT_NE(s.find("alpha"), std::string::npos);
+    EXPECT_NE(s.find("22"), std::string::npos);
+}
+
+TEST(TextTable, RejectsBadWidth)
+{
+    TextTable t({"a", "b"});
+    EXPECT_THROW(t.addRow({"only-one"}), PanicError);
+}
+
+TEST(FmtDouble, Digits)
+{
+    EXPECT_EQ(fmtDouble(3.14159, 2), "3.14");
+    EXPECT_EQ(fmtDouble(1.0, 0), "1");
+}
+
+} // namespace
+} // namespace flexi

@@ -1,0 +1,215 @@
+/**
+ * @file
+ * Gate-level validation of the single-cycle ExtAcc4 netlist (the
+ * Section 6.1 revised op set / FlexiCore4+ die family): lockstep
+ * equivalence against the architectural simulator on directed,
+ * random, and real-kernel programs, plus area-model cross-checks.
+ */
+
+#include <gtest/gtest.h>
+
+#include "assembler/assembler.hh"
+#include "common/rng.hh"
+#include "dse/area_model.hh"
+#include "kernels/golden.hh"
+#include "kernels/inputs.hh"
+#include "netlist/flexicore_netlist.hh"
+#include "netlist/lockstep.hh"
+
+namespace flexi
+{
+namespace
+{
+
+TEST(ExtNetlist, BuildsWithWideBusInterface)
+{
+    auto nl = buildExtAcc4Netlist();
+    EXPECT_GT(nl->numCells(), 200u);
+    EXPECT_NO_THROW(nl->setBus("instr", 16, 0xABCD));
+    EXPECT_NO_THROW(nl->bus("pc", 7));
+}
+
+TEST(ExtNetlist, BiggerThanBaseButBounded)
+{
+    // The revised-op-set core is bigger than the base FlexiCore4 but
+    // in the same class. (This structural netlist is an unoptimized
+    // functional reference — roughly RTL before logic sharing; the
+    // paper's synthesized overhead is 9-37 %, our analytical model
+    // sits at ~22 %, and this flat netlist lands higher.)
+    auto base = buildFlexiCore4Netlist();
+    auto ext = buildExtAcc4Netlist();
+    double rel = ext->totalNand2Area() / base->totalNand2Area();
+    EXPECT_GT(rel, 1.05);
+    EXPECT_LT(rel, 1.85);
+}
+
+TEST(ExtNetlist, AreaModelBelowUnoptimizedNetlist)
+{
+    // The analytical (post-synthesis) area model must come in below
+    // the flat structural netlist but within a logic-sharing factor
+    // of it.
+    auto ext = buildExtAcc4Netlist();
+    DesignPoint p;   // defaults: Acc SC wide, revised features
+    double ratio = areaOf(p).total() / ext->totalNand2Area();
+    EXPECT_GT(ratio, 0.65);
+    EXPECT_LE(ratio, 1.05);
+}
+
+TEST(ExtNetlist, DirectedArithmetic)
+{
+    Program p = assemble(IsaKind::ExtAcc4, R"(
+        li 7
+        addi 3          ; 10
+        store r2
+        li 6
+        add r2          ; 0 carry 1
+        adci 0          ; 1
+        store r3
+        li 3
+        sub r3          ; 2, no borrow
+        store r1
+        li 0
+        sub r3          ; 0 - 1 borrows
+        li 0
+        adci 0          ; carry -> 0
+        store r1
+        end: br.nzp end
+    )");
+    auto nl = buildExtAcc4Netlist();
+    LockstepResult res =
+        runLockstep(*nl, IsaKind::ExtAcc4, p, {}, 200);
+    EXPECT_EQ(res.errors, 0u);
+    ASSERT_EQ(res.outputs.size(), 2u);
+    EXPECT_EQ(res.outputs[0], 2);
+    EXPECT_EQ(res.outputs[1], 0);
+}
+
+TEST(ExtNetlist, DirectedShifterAndFlags)
+{
+    Program p = assemble(IsaKind::ExtAcc4, R"(
+        li 7
+        addi 2          ; 9 = 0b1001
+        store r2
+        lsri 1          ; 0b0100
+        store r1
+        load r2
+        asri 1          ; 0b1100 (sign fill)
+        store r1
+        load r2
+        asri 2          ; 0b1110
+        store r1
+        li 0
+        br.z zt
+        li 1
+        zt: li 5
+        br.p pt
+        li 2
+        pt: xch r2      ; acc=9, r2=5
+        store r1
+        load r2
+        store r1
+        call sr
+        li 3
+        store r1
+        end: br.nzp end
+        sr: lsr         ; shift-by-one form
+        store r1
+        ret
+    )");
+    auto nl = buildExtAcc4Netlist();
+    LockstepResult res =
+        runLockstep(*nl, IsaKind::ExtAcc4, p, {}, 400);
+    EXPECT_EQ(res.errors, 0u);
+    ASSERT_EQ(res.outputs.size(), 7u);
+    EXPECT_EQ(res.outputs[0], 0b0100);
+    EXPECT_EQ(res.outputs[1], 0b1100);
+    EXPECT_EQ(res.outputs[2], 0b1110);
+    EXPECT_EQ(res.outputs[3], 9);       // xch result in ACC
+    EXPECT_EQ(res.outputs[4], 5);       // exchanged memory
+    EXPECT_EQ(res.outputs[5], 0b0010);  // 5 >> 1 inside subroutine
+    EXPECT_EQ(res.outputs[6], 3);       // after ret
+}
+
+/** Random instruction streams: every byte pair is defined. */
+class ExtRandomLockstep : public ::testing::TestWithParam<uint64_t>
+{
+};
+
+TEST_P(ExtRandomLockstep, MatchesSimulator)
+{
+    Rng rng(GetParam() * 104729 + 7);
+    Program p(IsaKind::ExtAcc4);
+    std::vector<uint8_t> bytes;
+    for (int i = 0; i < 127; ++i)
+        bytes.push_back(static_cast<uint8_t>(rng.below(256)));
+    p.appendBytes(0, bytes);
+    std::vector<uint8_t> inputs;
+    for (int i = 0; i < 64; ++i)
+        inputs.push_back(static_cast<uint8_t>(rng.below(16)));
+
+    auto nl = buildExtAcc4Netlist();
+    LockstepResult res =
+        runLockstep(*nl, IsaKind::ExtAcc4, p, inputs, 3000);
+    EXPECT_EQ(res.errors, 0u) << "seed " << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ExtRandomLockstep,
+                         ::testing::Range<uint64_t>(1, 13));
+
+/** The real single-page kernels run on the gates and match golden. */
+class ExtKernelOnGates : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(ExtKernelOnGates, KernelMatchesGolden)
+{
+    auto id = static_cast<KernelId>(GetParam());
+    Program p = assemble(IsaKind::ExtAcc4,
+                         kernelSource(id, IsaKind::ExtAcc4));
+    ASSERT_EQ(p.numPages(), 1u);
+
+    auto inputs = kernelInputs(id, 8, 3);
+    auto nl = buildExtAcc4Netlist();
+    LockstepResult res =
+        runLockstep(*nl, IsaKind::ExtAcc4, p, inputs, 30000);
+    EXPECT_EQ(res.errors, 0u) << kernelName(id);
+
+    auto expected = goldenOutputs(id, inputs);
+    ASSERT_GE(res.outputs.size(), expected.size()) << kernelName(id);
+    res.outputs.resize(expected.size());
+    EXPECT_EQ(res.outputs, expected) << kernelName(id);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SinglePageKernels, ExtKernelOnGates,
+    ::testing::Values(static_cast<int>(KernelId::FirFilter),
+                      static_cast<int>(KernelId::IntAvg),
+                      static_cast<int>(KernelId::Thresholding),
+                      static_cast<int>(KernelId::ParityCheck),
+                      static_cast<int>(KernelId::XorShift8)));
+
+TEST(ExtNetlist, FaultInjectionCaught)
+{
+    Program p = assemble(IsaKind::ExtAcc4,
+                         kernelSource(KernelId::ParityCheck,
+                                      IsaKind::ExtAcc4));
+    auto inputs = kernelInputs(KernelId::ParityCheck, 16, 5);
+    auto nl = buildExtAcc4Netlist();
+    // Fault a propagate XOR in the adder — the parity kernel's xor
+    // traffic must expose it.
+    NetId victim = kNoNet;
+    for (const auto &cell : nl->cells()) {
+        if (cell.module == "alu" && cell.type == CellType::XOR2) {
+            victim = cell.output;
+            break;
+        }
+    }
+    ASSERT_NE(victim, kNoNet);
+    nl->injectFault({victim, true});
+    LockstepResult res =
+        runLockstep(*nl, IsaKind::ExtAcc4, p, inputs, 5000);
+    EXPECT_GT(res.errors, 0u);
+}
+
+} // namespace
+} // namespace flexi

@@ -1,0 +1,142 @@
+/**
+ * @file
+ * FlexiCore8 application programs: golden-model equivalence on the
+ * architectural simulator AND on the gate-level netlist (lockstep),
+ * exercising LOAD BYTE, sign-extended immediates and the 2-register
+ * data memory.
+ */
+
+#include <gtest/gtest.h>
+
+#include "assembler/assembler.hh"
+#include "kernels/fc8_programs.hh"
+#include "netlist/flexicore_netlist.hh"
+#include "netlist/lockstep.hh"
+#include "sim/core_sim.hh"
+
+namespace flexi
+{
+namespace
+{
+
+std::vector<Fc8Program>
+allPrograms()
+{
+    return {Fc8Program::Thresholding, Fc8Program::Parity,
+            Fc8Program::Checksum, Fc8Program::IntAvg};
+}
+
+TEST(Fc8Programs, AllAssembleToOnePage)
+{
+    for (Fc8Program id : allPrograms()) {
+        Program p = assemble(IsaKind::FlexiCore8,
+                             fc8ProgramSource(id));
+        EXPECT_EQ(p.numPages(), 1u) << fc8ProgramName(id);
+        EXPECT_GT(p.staticInstructions(), 4u);
+    }
+}
+
+TEST(Fc8Programs, GoldenThresholdSemantics)
+{
+    auto out = fc8GoldenOutputs(Fc8Program::Thresholding,
+                                {0, 100, 101, 200, 255});
+    EXPECT_EQ(out, (std::vector<uint8_t>{0, 0, 101, 200, 255}));
+}
+
+TEST(Fc8Programs, GoldenParityKnownValues)
+{
+    auto out = fc8GoldenOutputs(Fc8Program::Parity,
+                                {0x00, 0x01, 0xFF, 0xB4});
+    EXPECT_EQ(out, (std::vector<uint8_t>{0, 1, 0, 0}));
+}
+
+TEST(Fc8Programs, GoldenChecksumWraps)
+{
+    auto out = fc8GoldenOutputs(Fc8Program::Checksum, {200, 100});
+    EXPECT_EQ(out, (std::vector<uint8_t>{200, 44}));
+}
+
+class Fc8ProgramVsGolden : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(Fc8ProgramVsGolden, SimulatorMatchesGolden)
+{
+    auto id = static_cast<Fc8Program>(GetParam());
+    Program p = assemble(IsaKind::FlexiCore8, fc8ProgramSource(id));
+    auto inputs = fc8ProgramInputs(id, 40, 11);
+
+    FifoEnvironment env;
+    env.pushInputs(inputs);
+    TimingConfig cfg{IsaKind::FlexiCore8, MicroArch::SingleCycle,
+                     BusWidth::Wide};
+    CoreSim sim(cfg, p, env);
+    sim.runUntilOutputs([&] { return env.outputs().size(); },
+                        inputs.size(), 300000);
+    EXPECT_EQ(env.outputs(), fc8GoldenOutputs(id, inputs))
+        << fc8ProgramName(id);
+}
+
+TEST_P(Fc8ProgramVsGolden, GateLevelMatchesGolden)
+{
+    auto id = static_cast<Fc8Program>(GetParam());
+    Program p = assemble(IsaKind::FlexiCore8, fc8ProgramSource(id));
+    auto inputs = fc8ProgramInputs(id, 8, 23);
+
+    auto nl = buildFlexiCore8Netlist();
+    LockstepResult res =
+        runLockstep(*nl, IsaKind::FlexiCore8, p, inputs, 20000);
+    EXPECT_EQ(res.errors, 0u) << fc8ProgramName(id);
+
+    auto expected = fc8GoldenOutputs(id, inputs);
+    ASSERT_GE(res.outputs.size(), expected.size());
+    res.outputs.resize(expected.size());
+    EXPECT_EQ(res.outputs, expected) << fc8ProgramName(id);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllPrograms, Fc8ProgramVsGolden,
+    ::testing::Range(0, static_cast<int>(kNumFc8Programs)));
+
+/** Exhaustive parity sweep over the whole input byte space. */
+TEST(Fc8Programs, ParityExhaustive)
+{
+    Program p = assemble(IsaKind::FlexiCore8,
+                         fc8ProgramSource(Fc8Program::Parity));
+    std::vector<uint8_t> inputs(256);
+    for (unsigned i = 0; i < 256; ++i)
+        inputs[i] = static_cast<uint8_t>(i);
+
+    FifoEnvironment env;
+    env.pushInputs(inputs);
+    TimingConfig cfg{IsaKind::FlexiCore8, MicroArch::SingleCycle,
+                     BusWidth::Wide};
+    CoreSim sim(cfg, p, env);
+    sim.runUntilOutputs([&] { return env.outputs().size(); }, 256,
+                        300000);
+    EXPECT_EQ(env.outputs(),
+              fc8GoldenOutputs(Fc8Program::Parity, inputs));
+}
+
+/** Exhaustive thresholding sweep over the whole input byte space. */
+TEST(Fc8Programs, ThresholdingExhaustive)
+{
+    Program p = assemble(IsaKind::FlexiCore8,
+                         fc8ProgramSource(Fc8Program::Thresholding));
+    std::vector<uint8_t> inputs(256);
+    for (unsigned i = 0; i < 256; ++i)
+        inputs[i] = static_cast<uint8_t>(i);
+
+    FifoEnvironment env;
+    env.pushInputs(inputs);
+    TimingConfig cfg{IsaKind::FlexiCore8, MicroArch::SingleCycle,
+                     BusWidth::Wide};
+    CoreSim sim(cfg, p, env);
+    sim.runUntilOutputs([&] { return env.outputs().size(); }, 256,
+                        300000);
+    EXPECT_EQ(env.outputs(),
+              fc8GoldenOutputs(Fc8Program::Thresholding, inputs));
+}
+
+} // namespace
+} // namespace flexi

@@ -1,0 +1,430 @@
+/**
+ * @file
+ * Unit and property tests for instruction encodings.
+ *
+ * The central properties: every encoder/decoder pair round-trips, and
+ * the FlexiCore4/8 decoders are *total* (every byte value decodes to
+ * defined hardware behaviour, since the dies have no illegal-opcode
+ * trap).
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/logging.hh"
+#include "isa/disassembler.hh"
+#include "isa/encoding.hh"
+
+namespace flexi
+{
+namespace
+{
+
+TEST(IsaMeta, Names)
+{
+    EXPECT_STREQ(isaName(IsaKind::FlexiCore4), "FlexiCore4");
+    EXPECT_STREQ(isaName(IsaKind::LoadStore4), "LoadStore4");
+}
+
+TEST(IsaMeta, DataWidths)
+{
+    EXPECT_EQ(isaDataWidth(IsaKind::FlexiCore4), 4u);
+    EXPECT_EQ(isaDataWidth(IsaKind::FlexiCore8), 8u);
+    EXPECT_EQ(isaDataWidth(IsaKind::ExtAcc4), 4u);
+    EXPECT_EQ(isaDataWidth(IsaKind::LoadStore4), 4u);
+}
+
+TEST(IsaMeta, MemWords)
+{
+    // FC4: eight 4-bit words; FC8 halves the word count (Section 3.3).
+    EXPECT_EQ(isaMemWords(IsaKind::FlexiCore4), 8u);
+    EXPECT_EQ(isaMemWords(IsaKind::FlexiCore8), 4u);
+}
+
+// ---------------------------------------------------------------
+// FlexiCore4 (Figure 2a)
+// ---------------------------------------------------------------
+
+TEST(Fc4Encoding, FigureTwoExamples)
+{
+    Instruction br;
+    br.op = Op::Br;
+    br.target = 0x12;
+    EXPECT_EQ(encodeFc4(br), 0x92);
+
+    Instruction addi;
+    addi.op = Op::Add;
+    addi.mode = Mode::Imm;
+    addi.operand = 0x5;
+    EXPECT_EQ(encodeFc4(addi), 0x45);
+
+    Instruction nand_m;
+    nand_m.op = Op::Nand;
+    nand_m.mode = Mode::Mem;
+    nand_m.operand = 3;
+    EXPECT_EQ(encodeFc4(nand_m), 0x13);
+
+    Instruction load;
+    load.op = Op::Load;
+    load.mode = Mode::Mem;
+    load.operand = 2;
+    EXPECT_EQ(encodeFc4(load), 0x32);
+
+    Instruction store;
+    store.op = Op::Store;
+    store.mode = Mode::Mem;
+    store.operand = 7;
+    EXPECT_EQ(encodeFc4(store), 0x3F);
+}
+
+TEST(Fc4Encoding, DecodeIsTotal)
+{
+    for (unsigned b = 0; b < 256; ++b) {
+        DecodeResult dec = decodeFc4(static_cast<uint8_t>(b));
+        EXPECT_TRUE(dec.inst.valid()) << "byte " << b;
+        EXPECT_EQ(dec.bytes, 1u);
+    }
+}
+
+TEST(Fc4Encoding, ReservedIFormIsLi)
+{
+    DecodeResult dec = decodeFc4(0x7A);
+    EXPECT_EQ(dec.inst.op, Op::Li);
+    EXPECT_EQ(dec.inst.operand, 0xA);
+}
+
+TEST(Fc4Encoding, MFormIgnoresBitThree)
+{
+    // 0x0B = add with bit3 set: hardware ignores bit 3.
+    DecodeResult a = decodeFc4(0x0B);
+    DecodeResult b = decodeFc4(0x03);
+    EXPECT_EQ(a.inst.op, Op::Add);
+    EXPECT_EQ(a.inst.operand, b.inst.operand);
+}
+
+TEST(Fc4Encoding, RangeChecks)
+{
+    Instruction inst;
+    inst.op = Op::Load;
+    inst.mode = Mode::Mem;
+    inst.operand = 8;
+    EXPECT_THROW(encodeFc4(inst), FatalError);
+
+    inst.op = Op::Add;
+    inst.mode = Mode::Imm;
+    inst.operand = 16;
+    EXPECT_THROW(encodeFc4(inst), FatalError);
+
+    inst = Instruction{};
+    inst.op = Op::Adc;   // not in the 9-instruction ISA
+    EXPECT_THROW(encodeFc4(inst), FatalError);
+}
+
+/** Property: encode(decode(b)) == b for every canonical byte. */
+TEST(Fc4Encoding, RoundTripCanonicalBytes)
+{
+    for (unsigned b = 0; b < 256; ++b) {
+        DecodeResult dec = decodeFc4(static_cast<uint8_t>(b));
+        if (dec.inst.op == Op::Li)
+            continue;   // unofficial alias; encoder rejects Li
+        // Canonical bytes have M-form bit 3 clear.
+        bool mform = (b & 0xC0) == 0 && ((b >> 4) & 3) != 3;
+        if (mform && (b & 0x08))
+            continue;
+        EXPECT_EQ(encodeFc4(dec.inst), b) << "byte " << b;
+    }
+}
+
+// ---------------------------------------------------------------
+// FlexiCore8 (Figure 2b)
+// ---------------------------------------------------------------
+
+TEST(Fc8Encoding, LoadBytePrefix)
+{
+    Instruction ldb;
+    ldb.op = Op::Ldb;
+    ldb.mode = Mode::Imm;
+    ldb.operand = 0xC3;
+    auto bytes = encodeFc8(ldb);
+    ASSERT_EQ(bytes.size(), 2u);
+    EXPECT_EQ(bytes[0], 0x08);
+    EXPECT_EQ(bytes[1], 0xC3);
+
+    DecodeResult dec = decodeFc8(0x08, 0xC3);
+    EXPECT_EQ(dec.inst.op, Op::Ldb);
+    EXPECT_EQ(dec.inst.operand, 0xC3);
+    EXPECT_EQ(dec.bytes, 2u);
+    EXPECT_EQ(dec.inst.sizeBits, 16u);
+}
+
+TEST(Fc8Encoding, TwoBitAddresses)
+{
+    Instruction st;
+    st.op = Op::Store;
+    st.mode = Mode::Mem;
+    st.operand = 3;
+    EXPECT_EQ(encodeFc8(st)[0], 0x3B);
+    st.operand = 4;
+    EXPECT_THROW(encodeFc8(st), FatalError);
+}
+
+TEST(Fc8Encoding, DecodeIsTotal)
+{
+    for (unsigned b = 0; b < 256; ++b) {
+        DecodeResult dec = decodeFc8(static_cast<uint8_t>(b), 0x55);
+        EXPECT_TRUE(dec.inst.valid()) << "byte " << b;
+    }
+}
+
+TEST(Fc8Encoding, BranchMatchesFc4)
+{
+    for (unsigned t = 0; t < kPageSize; ++t) {
+        DecodeResult dec =
+            decodeFc8(static_cast<uint8_t>(0x80 | t), 0);
+        EXPECT_EQ(dec.inst.op, Op::Br);
+        EXPECT_EQ(dec.inst.target, t);
+    }
+}
+
+// ---------------------------------------------------------------
+// ExtAcc4
+// ---------------------------------------------------------------
+
+/** Every ExtAcc4 op in the revised set round-trips. */
+TEST(ExtEncoding, RoundTripAllForms)
+{
+    std::vector<Instruction> cases;
+    for (Op op : {Op::Add, Op::Adc, Op::Sub, Op::Swb, Op::And, Op::Or,
+                  Op::Xor, Op::Xch}) {
+        for (uint8_t a = 0; a < 8; ++a) {
+            Instruction i;
+            i.op = op;
+            i.mode = Mode::Mem;
+            i.operand = a;
+            cases.push_back(i);
+        }
+    }
+    for (Op op : {Op::Add, Op::Adc, Op::And, Op::Or, Op::Xor, Op::Asr,
+                  Op::Lsr, Op::Li}) {
+        for (uint8_t v = 0; v < 8; ++v) {
+            Instruction i;
+            i.op = op;
+            i.mode = Mode::Imm;
+            i.operand = v;
+            cases.push_back(i);
+        }
+    }
+    for (Op op : {Op::Load, Op::Store}) {
+        for (uint8_t a = 0; a < 8; ++a) {
+            Instruction i;
+            i.op = op;
+            i.mode = Mode::Mem;
+            i.operand = a;
+            cases.push_back(i);
+        }
+    }
+    {
+        Instruction i;
+        i.op = Op::Neg;
+        cases.push_back(i);
+        i.op = Op::Ret;
+        cases.push_back(i);
+    }
+    for (uint8_t nzp = 1; nzp < 8; ++nzp) {
+        Instruction i;
+        i.op = Op::Br;
+        i.cond = nzp;
+        i.target = 0x55;
+        cases.push_back(i);
+    }
+    {
+        Instruction i;
+        i.op = Op::Call;
+        i.target = 0x7F;
+        cases.push_back(i);
+    }
+
+    for (const Instruction &inst : cases) {
+        auto bytes = encodeExt(inst);
+        DecodeResult dec =
+            decodeExt(bytes[0], bytes.size() > 1 ? bytes[1] : 0);
+        EXPECT_EQ(dec.inst.op, inst.op)
+            << disassemble(IsaKind::ExtAcc4, inst);
+        if (inst.op != Op::Br && inst.op != Op::Call &&
+            inst.op != Op::Ret && inst.op != Op::Neg) {
+            EXPECT_EQ(dec.inst.operand, inst.operand)
+                << disassemble(IsaKind::ExtAcc4, inst);
+        }
+        if (inst.op == Op::Br) {
+            EXPECT_EQ(dec.inst.cond, inst.cond);
+            EXPECT_EQ(dec.inst.target, inst.target);
+        }
+        EXPECT_EQ(dec.bytes, bytes.size());
+    }
+}
+
+TEST(ExtEncoding, BranchAndCallAreTwoBytes)
+{
+    Instruction br;
+    br.op = Op::Br;
+    br.cond = kCondZ;
+    br.target = 9;
+    EXPECT_EQ(encodeExt(br).size(), 2u);
+
+    Instruction call;
+    call.op = Op::Call;
+    call.target = 9;
+    EXPECT_EQ(encodeExt(call).size(), 2u);
+
+    Instruction add;
+    add.op = Op::Add;
+    add.mode = Mode::Mem;
+    add.operand = 2;
+    EXPECT_EQ(encodeExt(add).size(), 1u);
+}
+
+TEST(ExtEncoding, NoImmediateSubtract)
+{
+    // Section 6.1 lists Sub/Swb without immediate forms.
+    Instruction i;
+    i.op = Op::Sub;
+    i.mode = Mode::Imm;
+    i.operand = 1;
+    EXPECT_THROW(encodeExt(i), FatalError);
+}
+
+// ---------------------------------------------------------------
+// LoadStore4
+// ---------------------------------------------------------------
+
+TEST(LsEncoding, RoundTripAluOps)
+{
+    for (Op op : {Op::Add, Op::Adc, Op::Sub, Op::Swb, Op::And, Op::Or,
+                  Op::Xor, Op::Mov}) {
+        for (uint8_t rd = 0; rd < 8; ++rd) {
+            Instruction i;
+            i.op = op;
+            i.mode = Mode::Mem;
+            i.rd = rd;
+            i.operand = static_cast<uint8_t>(7 - rd);
+            uint16_t w = encodeLs(i);
+            DecodeResult dec = decodeLs(w);
+            EXPECT_EQ(dec.inst.op, op);
+            EXPECT_EQ(dec.inst.rd, rd);
+            EXPECT_EQ(dec.inst.operand, 7 - rd);
+            EXPECT_EQ(dec.inst.sizeBits, 16u);
+        }
+    }
+}
+
+TEST(LsEncoding, RoundTripImmediates)
+{
+    for (Op op : {Op::Add, Op::Adc, Op::And, Op::Or, Op::Xor, Op::Mov,
+                  Op::Asr, Op::Lsr}) {
+        Instruction i;
+        i.op = op;
+        i.mode = Mode::Imm;
+        i.rd = 5;
+        i.operand = 0xB;
+        DecodeResult dec = decodeLs(encodeLs(i));
+        EXPECT_EQ(dec.inst.op, op);
+        EXPECT_EQ(dec.inst.mode, Mode::Imm);
+        EXPECT_EQ(dec.inst.operand, 0xB);
+    }
+}
+
+TEST(LsEncoding, BranchCarriesNzpAndTarget)
+{
+    Instruction i;
+    i.op = Op::Br;
+    i.cond = kCondN | kCondP;
+    i.target = 0x44;
+    DecodeResult dec = decodeLs(encodeLs(i));
+    EXPECT_EQ(dec.inst.op, Op::Br);
+    EXPECT_EQ(dec.inst.cond, kCondN | kCondP);
+    EXPECT_EQ(dec.inst.target, 0x44);
+}
+
+TEST(LsEncoding, CallRet)
+{
+    Instruction c;
+    c.op = Op::Call;
+    c.target = 3;
+    EXPECT_EQ(decodeLs(encodeLs(c)).inst.op, Op::Call);
+
+    Instruction r;
+    r.op = Op::Ret;
+    EXPECT_EQ(decodeLs(encodeLs(r)).inst.op, Op::Ret);
+}
+
+TEST(LsEncoding, ReservedDecodesInvalid)
+{
+    // op5 = 31 is unused.
+    DecodeResult dec = decodeLs(static_cast<uint16_t>(31u << 11));
+    EXPECT_FALSE(dec.inst.valid());
+}
+
+// ---------------------------------------------------------------
+// Unified dispatch + disassembler
+// ---------------------------------------------------------------
+
+TEST(UnifiedEncode, DispatchesPerIsa)
+{
+    Instruction add;
+    add.op = Op::Add;
+    add.mode = Mode::Imm;
+    add.operand = 1;
+    EXPECT_EQ(encode(IsaKind::FlexiCore4, add).size(), 1u);
+    EXPECT_EQ(encode(IsaKind::LoadStore4, add).size(), 2u);
+}
+
+TEST(UnifiedDecode, OutOfRangeFetchReadsZero)
+{
+    std::vector<uint8_t> mem = {0x45};
+    DecodeResult dec = decodeAt(IsaKind::FlexiCore4, mem, 10);
+    // Byte 0 decodes as add r0.
+    EXPECT_EQ(dec.inst.op, Op::Add);
+    EXPECT_EQ(dec.inst.mode, Mode::Mem);
+    EXPECT_EQ(dec.inst.operand, 0);
+}
+
+TEST(Disassembler, BaseSyntax)
+{
+    EXPECT_EQ(disassemble(IsaKind::FlexiCore4, decodeFc4(0x45).inst),
+              "addi 5");
+    EXPECT_EQ(disassemble(IsaKind::FlexiCore4, decodeFc4(0x13).inst),
+              "nand r3");
+    EXPECT_EQ(disassemble(IsaKind::FlexiCore4, decodeFc4(0x92).inst),
+              "br 18");
+    EXPECT_EQ(disassemble(IsaKind::FlexiCore4, decodeFc4(0x32).inst),
+              "load r2");
+}
+
+TEST(Disassembler, ExtCondSuffix)
+{
+    Instruction br;
+    br.op = Op::Br;
+    br.cond = kCondZ | kCondP;
+    br.target = 4;
+    EXPECT_EQ(disassemble(IsaKind::ExtAcc4, br), "br.zp 4");
+}
+
+TEST(Disassembler, LoadStoreTwoOperand)
+{
+    Instruction mov;
+    mov.op = Op::Mov;
+    mov.mode = Mode::Mem;
+    mov.rd = 2;
+    mov.operand = 3;
+    EXPECT_EQ(disassemble(IsaKind::LoadStore4, mov), "mov r2, r3");
+}
+
+TEST(Disassembler, ImageListing)
+{
+    std::vector<uint8_t> image = {0x45, 0x92};
+    std::string listing = disassembleImage(IsaKind::FlexiCore4, image);
+    EXPECT_NE(listing.find("0: addi 5"), std::string::npos);
+    EXPECT_NE(listing.find("1: br 18"), std::string::npos);
+}
+
+} // namespace
+} // namespace flexi

@@ -1,0 +1,157 @@
+/**
+ * @file
+ * Gate-level validation of the single-cycle LoadStore4 netlist:
+ * lockstep equivalence on directed, random and real-kernel programs,
+ * plus the structural two-port claim.
+ */
+
+#include <gtest/gtest.h>
+
+#include "assembler/assembler.hh"
+#include "common/rng.hh"
+#include "kernels/golden.hh"
+#include "kernels/inputs.hh"
+#include "netlist/flexicore_netlist.hh"
+#include "netlist/lockstep.hh"
+
+namespace flexi
+{
+namespace
+{
+
+TEST(LsNetlist, BuildsWithWordInterface)
+{
+    auto nl = buildLoadStore4Netlist();
+    EXPECT_GT(nl->numCells(), 250u);
+    EXPECT_NO_THROW(nl->setBus("instr", 16, 0x1234));
+}
+
+TEST(LsNetlist, SecondPortShowsInMemoryModule)
+{
+    // The load-store register file carries two read muxes; its mem
+    // module must be visibly larger than the accumulator cores'.
+    auto acc = buildExtAcc4Netlist();
+    auto ls = buildLoadStore4Netlist();
+    double acc_mem = acc->moduleBreakdown().at("mem").nand2Area;
+    double ls_mem = ls->moduleBreakdown().at("mem").nand2Area;
+    EXPECT_GT(ls_mem, acc_mem * 1.10);
+}
+
+TEST(LsNetlist, DirectedTwoAddressProgram)
+{
+    Program p = assemble(IsaKind::LoadStore4, R"(
+        movi r2, 9
+        movi r3, 4
+        add r2, r3      ; 13
+        mov r1, r2
+        sub r2, r3      ; 9
+        mov r1, r2
+        movi r4, 0
+        adci r4, 0      ; carry from sub (no borrow) -> 1
+        mov r1, r4
+        neg r3          ; -4 = 12
+        mov r1, r3
+        asri r3, 2      ; 0b1111
+        mov r1, r3
+        mov r5, r0      ; input
+        xor r5, r2
+        mov r1, r5
+        e: br.nzp e
+    )");
+    auto nl = buildLoadStore4Netlist();
+    LockstepResult res =
+        runLockstep(*nl, IsaKind::LoadStore4, p, {0x6}, 200);
+    EXPECT_EQ(res.errors, 0u);
+    ASSERT_EQ(res.outputs.size(), 6u);
+    EXPECT_EQ(res.outputs[0], 13);
+    EXPECT_EQ(res.outputs[1], 9);
+    EXPECT_EQ(res.outputs[2], 1);
+    EXPECT_EQ(res.outputs[3], 12);
+    EXPECT_EQ(res.outputs[4], 0xF);
+    EXPECT_EQ(res.outputs[5], 0x6 ^ 9);
+}
+
+TEST(LsNetlist, DirectedCallRetAndFlags)
+{
+    Program p = assemble(IsaKind::LoadStore4, R"(
+        movi r2, 0
+        br.z sk
+        movi r1, 15     ; must be skipped
+        sk: movi r3, 5
+        br.p pos
+        movi r1, 14
+        pos: call sr
+        movi r1, 9
+        e: br.nzp e
+        sr: movi r1, 3
+        ret
+    )");
+    auto nl = buildLoadStore4Netlist();
+    LockstepResult res =
+        runLockstep(*nl, IsaKind::LoadStore4, p, {}, 200);
+    EXPECT_EQ(res.errors, 0u);
+    ASSERT_EQ(res.outputs.size(), 2u);
+    EXPECT_EQ(res.outputs[0], 3);
+    EXPECT_EQ(res.outputs[1], 9);
+}
+
+/** Random 16-bit instruction words: every encoding is defined. */
+class LsRandomLockstep : public ::testing::TestWithParam<uint64_t>
+{
+};
+
+TEST_P(LsRandomLockstep, MatchesSimulator)
+{
+    Rng rng(GetParam() * 65537 + 3);
+    Program p(IsaKind::LoadStore4);
+    std::vector<uint8_t> bytes;
+    for (int i = 0; i < 254; ++i)   // 127 words
+        bytes.push_back(static_cast<uint8_t>(rng.below(256)));
+    p.appendBytes(0, bytes);
+    std::vector<uint8_t> inputs;
+    for (int i = 0; i < 64; ++i)
+        inputs.push_back(static_cast<uint8_t>(rng.below(16)));
+
+    auto nl = buildLoadStore4Netlist();
+    LockstepResult res =
+        runLockstep(*nl, IsaKind::LoadStore4, p, inputs, 3000);
+    EXPECT_EQ(res.errors, 0u) << "seed " << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, LsRandomLockstep,
+                         ::testing::Range<uint64_t>(1, 13));
+
+/** The real single-page LS kernels run on the gates. */
+class LsKernelOnGates : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(LsKernelOnGates, KernelMatchesGolden)
+{
+    auto id = static_cast<KernelId>(GetParam());
+    Program p = assemble(IsaKind::LoadStore4,
+                         kernelSource(id, IsaKind::LoadStore4));
+    ASSERT_EQ(p.numPages(), 1u);
+
+    auto inputs = kernelInputs(id, 8, 5);
+    auto nl = buildLoadStore4Netlist();
+    LockstepResult res =
+        runLockstep(*nl, IsaKind::LoadStore4, p, inputs, 30000);
+    EXPECT_EQ(res.errors, 0u) << kernelName(id);
+
+    auto expected = goldenOutputs(id, inputs);
+    ASSERT_GE(res.outputs.size(), expected.size()) << kernelName(id);
+    res.outputs.resize(expected.size());
+    EXPECT_EQ(res.outputs, expected) << kernelName(id);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SinglePageKernels, LsKernelOnGates,
+    ::testing::Values(static_cast<int>(KernelId::FirFilter),
+                      static_cast<int>(KernelId::IntAvg),
+                      static_cast<int>(KernelId::Thresholding),
+                      static_cast<int>(KernelId::ParityCheck),
+                      static_cast<int>(KernelId::XorShift8)));
+
+} // namespace
+} // namespace flexi

@@ -1,0 +1,592 @@
+/**
+ * @file
+ * Unit tests for the instruction-level simulator: per-op semantics,
+ * IO mapping, branching, MMU paging, timing models.
+ */
+
+#include <gtest/gtest.h>
+
+#include "assembler/assembler.hh"
+#include "common/logging.hh"
+#include "sim/core_sim.hh"
+#include "sim/mmu.hh"
+
+namespace flexi
+{
+namespace
+{
+
+/** Assemble + run on a default single-cycle core, return the sim. */
+struct Rig
+{
+    Rig(IsaKind isa, const std::string &src,
+        std::vector<uint8_t> inputs = {},
+        MicroArch uarch = MicroArch::SingleCycle,
+        BusWidth bus = BusWidth::Wide)
+        : prog(assemble(isa, src))
+    {
+        env.pushInputs(inputs);
+        TimingConfig cfg{isa, uarch, bus};
+        sim = std::make_unique<CoreSim>(cfg, prog, env);
+    }
+
+    Program prog;
+    FifoEnvironment env;
+    std::unique_ptr<CoreSim> sim;
+};
+
+// ---------------------------------------------------------------
+// FlexiCore4 semantics
+// ---------------------------------------------------------------
+
+TEST(Fc4Sim, AddImmediate)
+{
+    Rig rig(IsaKind::FlexiCore4, "addi 5\naddi 7\n");
+    rig.sim->run(2);
+    EXPECT_EQ(rig.sim->acc(), (5 + 7) & 0xF);
+}
+
+TEST(Fc4Sim, AdditionWrapsAtFourBits)
+{
+    Rig rig(IsaKind::FlexiCore4, "addi 0xF\naddi 0x2\n");
+    rig.sim->run(2);
+    EXPECT_EQ(rig.sim->acc(), 0x1);
+}
+
+TEST(Fc4Sim, NandImmediate)
+{
+    // nandi 0 always yields 0xF (used as "set all ones" idiom).
+    Rig rig(IsaKind::FlexiCore4, "addi 9\nnandi 0\n");
+    rig.sim->run(2);
+    EXPECT_EQ(rig.sim->acc(), 0xF);
+}
+
+TEST(Fc4Sim, XorImmediate)
+{
+    Rig rig(IsaKind::FlexiCore4, "addi 0b1010\nxori 0b0110\n");
+    rig.sim->run(2);
+    EXPECT_EQ(rig.sim->acc(), 0b1100);
+}
+
+TEST(Fc4Sim, LoadStoreMemory)
+{
+    Rig rig(IsaKind::FlexiCore4,
+            "addi 9\nstore r5\naddi 3\nload r5\n");
+    rig.sim->run(4);
+    EXPECT_EQ(rig.sim->acc(), 9);
+    EXPECT_EQ(rig.sim->mem(5), 9);
+}
+
+TEST(Fc4Sim, MemoryOperandAlu)
+{
+    Rig rig(IsaKind::FlexiCore4,
+            "addi 6\nstore r2\naddi -6\naddi 3\nadd r2\n");
+    rig.sim->run(5);
+    EXPECT_EQ(rig.sim->acc(), 9);
+}
+
+TEST(Fc4Sim, BranchTakenOnNegativeAcc)
+{
+    // ACC = 0x8 (MSB set) -> branch taken.
+    Rig rig(IsaKind::FlexiCore4, R"(
+        addi 0x8
+        br over
+        addi 1      ; skipped
+        over: addi 2
+    )");
+    rig.sim->run(3);
+    EXPECT_EQ(rig.sim->acc(), 0xA);
+    EXPECT_EQ(rig.sim->stats().takenBranches, 1u);
+}
+
+TEST(Fc4Sim, BranchNotTakenOnPositiveAcc)
+{
+    Rig rig(IsaKind::FlexiCore4, R"(
+        addi 0x1
+        br over
+        addi 1
+        over: addi 2
+    )");
+    rig.sim->run(4);
+    EXPECT_EQ(rig.sim->acc(), 4);
+    EXPECT_EQ(rig.sim->stats().takenBranches, 0u);
+}
+
+TEST(Fc4Sim, HaltIdiom)
+{
+    Rig rig(IsaKind::FlexiCore4, "nandi 0\nend: br end\n");
+    StopReason r = rig.sim->run(100);
+    EXPECT_EQ(r, StopReason::Halted);
+    EXPECT_TRUE(rig.sim->halted());
+    EXPECT_EQ(rig.sim->stats().instructions, 2u);
+}
+
+TEST(Fc4Sim, InputPortMappedAtZero)
+{
+    Rig rig(IsaKind::FlexiCore4, "load r0\nstore r2\nload r0\n",
+            {0x3, 0x9});
+    rig.sim->run(3);
+    EXPECT_EQ(rig.sim->mem(2), 0x3);
+    EXPECT_EQ(rig.sim->acc(), 0x9);
+    EXPECT_EQ(rig.sim->stats().ioReads, 2u);
+}
+
+TEST(Fc4Sim, InputHeldAfterFifoDrains)
+{
+    Rig rig(IsaKind::FlexiCore4, "load r0\nload r0\n", {0x7});
+    rig.sim->run(2);
+    EXPECT_EQ(rig.sim->acc(), 0x7);
+}
+
+TEST(Fc4Sim, OutputPortMappedAtOne)
+{
+    Rig rig(IsaKind::FlexiCore4, "addi 0xC\nstore r1\naddi 1\n"
+                                 "store r1\n");
+    rig.sim->run(4);
+    ASSERT_EQ(rig.env.outputs().size(), 2u);
+    EXPECT_EQ(rig.env.outputs()[0], 0xC);
+    EXPECT_EQ(rig.env.outputs()[1], 0xD);
+    EXPECT_EQ(rig.sim->outputLatch(), 0xD);
+}
+
+TEST(Fc4Sim, OutputLatchReadable)
+{
+    Rig rig(IsaKind::FlexiCore4,
+            "addi 5\nstore r1\naddi 1\nload r1\n");
+    rig.sim->run(4);
+    EXPECT_EQ(rig.sim->acc(), 5);
+}
+
+TEST(Fc4Sim, StoreToInputAddressIgnored)
+{
+    Rig rig(IsaKind::FlexiCore4, "addi 5\nstore r0\nload r0\n", {0xA});
+    rig.sim->run(3);
+    EXPECT_EQ(rig.sim->acc(), 0xA);
+}
+
+TEST(Fc4Sim, AluFromInputPort)
+{
+    Rig rig(IsaKind::FlexiCore4, "addi 2\nadd r0\n", {0x5});
+    rig.sim->run(2);
+    EXPECT_EQ(rig.sim->acc(), 7);
+}
+
+/** Listing 2's unconditional-branch idiom must work. */
+TEST(Fc4Sim, UnconditionalBranchIdiom)
+{
+    Rig rig(IsaKind::FlexiCore4, R"(
+        addi 3          ; ACC positive
+        xori 0x8        ; force MSB
+        br tgt
+        pre: addi 15    ; never reached
+        tgt: xori 0x8   ; restore ACC
+        end: nandi 0
+        spin: br spin
+    )");
+    rig.sim->run(100);
+    // After restore, ACC is 3 again (before the nandi).
+    EXPECT_EQ(rig.sim->stats().takenBranches, 2u);
+}
+
+// ---------------------------------------------------------------
+// FlexiCore8 semantics
+// ---------------------------------------------------------------
+
+TEST(Fc8Sim, LoadByteFullOctet)
+{
+    Rig rig(IsaKind::FlexiCore8, "ldb 0xC3\n");
+    rig.sim->run(1);
+    EXPECT_EQ(rig.sim->acc(), 0xC3);
+    EXPECT_EQ(rig.sim->stats().cycles, 2u);   // two-cycle instruction
+    EXPECT_EQ(rig.sim->pc(), 2u);
+}
+
+TEST(Fc8Sim, ImmediatesSignExtend)
+{
+    Rig rig(IsaKind::FlexiCore8, "addi -1\n");
+    rig.sim->run(1);
+    EXPECT_EQ(rig.sim->acc(), 0xFF);
+}
+
+TEST(Fc8Sim, BranchOnBitSeven)
+{
+    Rig rig(IsaKind::FlexiCore8, R"(
+        ldb 0x80
+        br over
+        addi 1
+        over: addi 0
+    )");
+    rig.sim->run(2);
+    EXPECT_EQ(rig.sim->stats().takenBranches, 1u);
+}
+
+TEST(Fc8Sim, FourWordMemory)
+{
+    Rig rig(IsaKind::FlexiCore8,
+            "ldb 0x5A\nstore r2\nldb 0xA5\nstore r3\nload r2\n");
+    rig.sim->run(5);
+    EXPECT_EQ(rig.sim->acc(), 0x5A);
+    EXPECT_EQ(rig.sim->mem(3), 0xA5);
+}
+
+TEST(Fc8Sim, EightBitIo)
+{
+    Rig rig(IsaKind::FlexiCore8, "load r0\nstore r1\n", {0xEE});
+    rig.sim->run(2);
+    ASSERT_EQ(rig.env.outputs().size(), 1u);
+    EXPECT_EQ(rig.env.outputs()[0], 0xEE);
+}
+
+// ---------------------------------------------------------------
+// ExtAcc4 semantics
+// ---------------------------------------------------------------
+
+TEST(ExtSim, CarryChainAddAdc)
+{
+    // 7+3+3+3 = 16 -> ACC 0 with carry out; adc propagates it.
+    // (ExtAcc4 add immediates are signed 3-bit: range -4..3.)
+    Rig rig(IsaKind::ExtAcc4, R"(
+        li 7
+        addi 3      ; 10
+        addi 3      ; 13
+        addi 3      ; 16 -> 0, carry 1
+        li 0
+        adci 0      ; carry in -> 1
+    )");
+    rig.sim->run(6);
+    EXPECT_EQ(rig.sim->acc(), 1);
+    EXPECT_FALSE(rig.sim->carry());
+}
+
+TEST(ExtSim, SubAndBorrow)
+{
+    Rig rig(IsaKind::ExtAcc4, R"(
+        li 3
+        store r2
+        li 7
+        sub r2      ; 7 - 3 = 4, no borrow (carry set)
+    )");
+    rig.sim->run(4);
+    EXPECT_EQ(rig.sim->acc(), 4);
+    EXPECT_TRUE(rig.sim->carry());
+}
+
+TEST(ExtSim, SubBorrowClearsCarry)
+{
+    Rig rig(IsaKind::ExtAcc4, R"(
+        li 7
+        store r2
+        li 3
+        sub r2      ; 3 - 7 borrows
+    )");
+    rig.sim->run(4);
+    EXPECT_EQ(rig.sim->acc(), (3 - 7) & 0xF);
+    EXPECT_FALSE(rig.sim->carry());
+}
+
+TEST(ExtSim, LogicalOps)
+{
+    Rig rig(IsaKind::ExtAcc4, R"(
+        li 0b0110
+        store r2
+        li 0b0101
+        and r2
+    )");
+    rig.sim->run(4);
+    EXPECT_EQ(rig.sim->acc(), 0b0100);
+}
+
+TEST(ExtSim, OrImmediate)
+{
+    Rig rig(IsaKind::ExtAcc4, "li 1\nori 6\n");
+    rig.sim->run(2);
+    EXPECT_EQ(rig.sim->acc(), 7);
+}
+
+TEST(ExtSim, ShiftRightLogical)
+{
+    Rig rig(IsaKind::ExtAcc4, "li 5\nori 0\naddi 3\nlsri 2\n");
+    rig.sim->run(4);
+    // (5|0)+3 = 8 -> lsr 2 -> 2
+    EXPECT_EQ(rig.sim->acc(), 2);
+}
+
+TEST(ExtSim, ShiftRightArithmeticKeepsSign)
+{
+    // ACC = 0b1000 (negative); asr keeps the sign bit.
+    Rig rig(IsaKind::ExtAcc4, "li 7\naddi 1\nasri 1\n");
+    rig.sim->run(3);
+    EXPECT_EQ(rig.sim->acc(), 0b1100);
+}
+
+TEST(ExtSim, ShiftByOneForms)
+{
+    Rig rig(IsaKind::ExtAcc4, "li 6\nlsr\n");
+    rig.sim->run(2);
+    EXPECT_EQ(rig.sim->acc(), 3);
+}
+
+TEST(ExtSim, NegTwosComplement)
+{
+    Rig rig(IsaKind::ExtAcc4, "li 3\nneg\n");
+    rig.sim->run(2);
+    EXPECT_EQ(rig.sim->acc(), 0xD);
+}
+
+TEST(ExtSim, ExchangeAccumulatorWithMemory)
+{
+    Rig rig(IsaKind::ExtAcc4, "li 2\nstore r3\nli 7\nxch r3\n");
+    rig.sim->run(4);
+    EXPECT_EQ(rig.sim->acc(), 2);
+    EXPECT_EQ(rig.sim->mem(3), 7);
+}
+
+TEST(ExtSim, NzpBranches)
+{
+    Rig rig(IsaKind::ExtAcc4, R"(
+        li 0
+        br.z iszero
+        li 1
+        iszero: li 5
+        br.p ispos
+        li 2
+        ispos: li 3
+        br.n bad        ; not taken: 3 is positive
+        li 4
+        end: br.nzp end
+        bad: li 2
+        br.nzp end
+    )");
+    rig.sim->run(100);
+    EXPECT_EQ(rig.sim->acc(), 4);
+    EXPECT_EQ(rig.sim->stats().takenBranches, 3u);
+}
+
+TEST(ExtSim, CallRet)
+{
+    Rig rig(IsaKind::ExtAcc4, R"(
+        li 1
+        call sr
+        li 7            ; runs after return
+        end: br.nzp end
+        sr: addi 1
+        ret
+    )");
+    rig.sim->run(100);
+    EXPECT_EQ(rig.sim->acc(), 7);
+    EXPECT_TRUE(rig.sim->halted());
+}
+
+// ---------------------------------------------------------------
+// LoadStore4 semantics
+// ---------------------------------------------------------------
+
+TEST(LsSim, TwoAddressAlu)
+{
+    Rig rig(IsaKind::LoadStore4, R"(
+        movi r2, 5
+        movi r3, 4
+        add r2, r3
+        end: br.nzp end
+    )");
+    rig.sim->run(100);
+    EXPECT_EQ(rig.sim->mem(2), 9);
+    EXPECT_EQ(rig.sim->mem(3), 4);
+}
+
+TEST(LsSim, MovRegister)
+{
+    Rig rig(IsaKind::LoadStore4, R"(
+        movi r2, 9
+        mov r4, r2
+        end: br.nzp end
+    )");
+    rig.sim->run(100);
+    EXPECT_EQ(rig.sim->mem(4), 9);
+}
+
+TEST(LsSim, FlagsFollowLastWrite)
+{
+    Rig rig(IsaKind::LoadStore4, R"(
+        movi r2, 0
+        br.z zero
+        movi r3, 1
+        zero: movi r3, 2
+        end: br.nzp end
+    )");
+    rig.sim->run(100);
+    EXPECT_EQ(rig.sim->mem(3), 2);
+}
+
+TEST(LsSim, IoThroughRegistersZeroAndOne)
+{
+    Rig rig(IsaKind::LoadStore4, R"(
+        mov r2, r0      ; sample input
+        addi r2, 1
+        mov r1, r2      ; drive output
+        end: br.nzp end
+    )", {0x6});
+    rig.sim->run(100);
+    ASSERT_EQ(rig.env.outputs().size(), 1u);
+    EXPECT_EQ(rig.env.outputs()[0], 0x7);
+}
+
+TEST(LsSim, SubWithRegisters)
+{
+    Rig rig(IsaKind::LoadStore4, R"(
+        movi r2, 9
+        movi r3, 4
+        sub r2, r3
+        end: br.nzp end
+    )");
+    rig.sim->run(100);
+    EXPECT_EQ(rig.sim->mem(2), 5);
+}
+
+// ---------------------------------------------------------------
+// Timing models
+// ---------------------------------------------------------------
+
+TEST(Timing, SingleCycleCpiIsOne)
+{
+    Rig rig(IsaKind::FlexiCore4, "addi 1\naddi 1\naddi 1\n");
+    rig.sim->run(3);
+    EXPECT_EQ(rig.sim->stats().cycles, 3u);
+    EXPECT_DOUBLE_EQ(rig.sim->stats().cpi(), 1.0);
+}
+
+TEST(Timing, PipelineBubblesOnTakenBranch)
+{
+    std::string src = "nandi 0\nx: br x\n";
+    Rig sc(IsaKind::FlexiCore4, src);
+    Rig p2(IsaKind::FlexiCore4, src, {}, MicroArch::Pipelined2);
+    sc.sim->run(10);
+    p2.sim->run(10);
+    EXPECT_EQ(sc.sim->stats().cycles, 2u);
+    EXPECT_EQ(p2.sim->stats().cycles, 3u);   // +1 bubble
+}
+
+TEST(Timing, MultiCycleDoublesCpi)
+{
+    // Section 3.4: a multicycle FlexiCore4 doubles CPI.
+    Rig mc(IsaKind::FlexiCore4, "addi 1\naddi 2\naddi 3\n", {},
+           MicroArch::MultiCycle);
+    mc.sim->run(3);
+    EXPECT_DOUBLE_EQ(mc.sim->stats().cpi(), 2.0);
+}
+
+TEST(Timing, NarrowBusPenalizesTwoByteInstructions)
+{
+    Rig wide(IsaKind::ExtAcc4, "x: br.nzp x\n");
+    Rig narrow(IsaKind::ExtAcc4, "x: br.nzp x\n", {},
+               MicroArch::SingleCycle, BusWidth::Narrow8);
+    wide.sim->run(1);
+    narrow.sim->run(1);
+    EXPECT_EQ(wide.sim->stats().cycles, 1u);
+    EXPECT_EQ(narrow.sim->stats().cycles, 2u);
+}
+
+TEST(Timing, NarrowBusSingleCycleLoadStoreImpossible)
+{
+    // Section 6.2: with an 8-bit bus, only the multicycle load-store
+    // machine exists.
+    Program p = assemble(IsaKind::LoadStore4, "x: br.nzp x\n");
+    FifoEnvironment env;
+    TimingConfig cfg{IsaKind::LoadStore4, MicroArch::SingleCycle,
+                     BusWidth::Narrow8};
+    EXPECT_THROW(CoreSim(cfg, p, env), FatalError);
+    cfg.uarch = MicroArch::Pipelined2;
+    EXPECT_THROW(CoreSim(cfg, p, env), FatalError);
+    cfg.uarch = MicroArch::MultiCycle;
+    EXPECT_NO_THROW(CoreSim(cfg, p, env));
+}
+
+TEST(Timing, ProgramIsaMustMatchCore)
+{
+    Program p = assemble(IsaKind::FlexiCore4, "addi 1\n");
+    FifoEnvironment env;
+    TimingConfig cfg{IsaKind::FlexiCore8, MicroArch::SingleCycle,
+                     BusWidth::Wide};
+    EXPECT_THROW(CoreSim(cfg, p, env), FatalError);
+}
+
+// ---------------------------------------------------------------
+// MMU paging
+// ---------------------------------------------------------------
+
+TEST(Mmu, EscapeTripleSwitchesPage)
+{
+    Mmu mmu;
+    EXPECT_EQ(mmu.onOutput(kMmuEscape0).size(), 0u);
+    EXPECT_EQ(mmu.onOutput(kMmuEscape1).size(), 0u);
+    EXPECT_EQ(mmu.onOutput(3).size(), 0u);
+    EXPECT_TRUE(mmu.pending());
+    EXPECT_EQ(mmu.takePendingPage(), 3);
+    EXPECT_EQ(mmu.currentPage(), 3u);
+    EXPECT_FALSE(mmu.pending());
+}
+
+TEST(Mmu, NonEscapeTrafficPassesThrough)
+{
+    Mmu mmu;
+    EXPECT_EQ(mmu.onOutput(0x7), std::vector<uint8_t>{0x7});
+    EXPECT_FALSE(mmu.pending());
+}
+
+TEST(Mmu, BrokenEscapeFlushes)
+{
+    Mmu mmu;
+    EXPECT_EQ(mmu.onOutput(kMmuEscape0).size(), 0u);
+    auto flushed = mmu.onOutput(0x2);
+    ASSERT_EQ(flushed.size(), 2u);
+    EXPECT_EQ(flushed[0], kMmuEscape0);
+    EXPECT_EQ(flushed[1], 0x2);
+    EXPECT_FALSE(mmu.pending());
+}
+
+TEST(Mmu, RepeatedEscapeZeroReArms)
+{
+    Mmu mmu;
+    mmu.onOutput(kMmuEscape0);
+    auto flushed = mmu.onOutput(kMmuEscape0);   // flush one, re-arm
+    ASSERT_EQ(flushed.size(), 1u);
+    EXPECT_EQ(flushed[0], kMmuEscape0);
+    mmu.onOutput(kMmuEscape1);
+    mmu.onOutput(1);
+    EXPECT_TRUE(mmu.pending());
+}
+
+TEST(Mmu, MultiPageProgramRuns)
+{
+    // Page 0 signals a switch to page 1 and branches; page 1 outputs
+    // a value and halts.
+    Program p = assemble(IsaKind::FlexiCore4, R"(
+        addi 0xA
+        store r1        ; escape 0
+        addi -5
+        store r1        ; escape 1 (0x5)
+        addi -4
+        store r1        ; page number (0x1)
+        nandi 0         ; make ACC negative
+        br @entry
+        .page 1
+        entry: addi 0
+        xori 0x9
+        store r1
+        end: nandi 0
+        spin: br spin
+    )");
+    FifoEnvironment io;
+    PagedEnvironment paged(io);
+    TimingConfig cfg{IsaKind::FlexiCore4, MicroArch::SingleCycle,
+                     BusWidth::Wide};
+    CoreSim sim(cfg, p, paged);
+    StopReason r = sim.run(100);
+    EXPECT_EQ(r, StopReason::Halted);
+    ASSERT_EQ(io.outputs().size(), 1u);
+    // ACC after branch: 0xF (nandi 0); addi 0 keeps it; xori 9 -> 6.
+    EXPECT_EQ(io.outputs()[0], 0x6);
+}
+
+} // namespace
+} // namespace flexi

@@ -1,0 +1,137 @@
+/**
+ * @file
+ * Tests for the FlexiChip top-level API.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/logging.hh"
+#include "kernels/golden.hh"
+#include "kernels/inputs.hh"
+#include "kernels/kernels.hh"
+#include "sys/flexichip.hh"
+
+namespace flexi
+{
+namespace
+{
+
+TEST(FlexiChip, QuickstartFlow)
+{
+    FlexiChip chip(IsaKind::FlexiCore4);
+    chip.loadProgram(
+        "loop: load r0\n addi 3\n store r1\n nandi 0\n br loop\n");
+    chip.pushInputs({1, 2, 3});
+    StopReason r = chip.runUntilOutputs(3);
+    EXPECT_EQ(r, StopReason::OutputTarget);
+    EXPECT_EQ(chip.outputs(), (std::vector<uint8_t>{4, 5, 6}));
+}
+
+TEST(FlexiChip, RejectsDseIsaInFabricatedConstructor)
+{
+    EXPECT_THROW(FlexiChip(IsaKind::ExtAcc4), FatalError);
+}
+
+TEST(FlexiChip, RejectsMismatchedProgram)
+{
+    FlexiChip chip(IsaKind::FlexiCore4);
+    Program p(IsaKind::FlexiCore8);
+    EXPECT_THROW(chip.loadProgram(std::move(p)), FatalError);
+}
+
+TEST(FlexiChip, RunWithoutProgramFails)
+{
+    FlexiChip chip(IsaKind::FlexiCore4);
+    EXPECT_THROW(chip.run(), FatalError);
+    EXPECT_FALSE(chip.halted());
+}
+
+TEST(FlexiChip, PhysicalNumbersMatchPaperTable4)
+{
+    FlexiChip fc4(IsaKind::FlexiCore4);
+    ChipPhysical phys = fc4.physical();
+    EXPECT_NEAR(phys.areaMm2, 5.56, 0.01);          // calibrated
+    EXPECT_NEAR(phys.fmaxHz, 12500.0, 1e-6);        // IO-limited
+    EXPECT_NEAR(phys.staticPowerW * 1e3, 4.9, 1.0); // ~4.9 mW
+    // ~360 nJ per instruction (Section 5.2).
+    EXPECT_NEAR(phys.energyPerInstructionJ * 1e9, 360.0, 80.0);
+
+    FlexiChip fc8(IsaKind::FlexiCore8);
+    ChipPhysical p8 = fc8.physical();
+    EXPECT_GT(p8.areaMm2, phys.areaMm2);            // Table 4
+    EXPECT_LT(p8.staticPowerW, phys.staticPowerW);  // refined pull-up
+}
+
+TEST(FlexiChip, EnergyAccountingMatchesStats)
+{
+    FlexiChip chip(IsaKind::FlexiCore4);
+    chip.loadProgram("addi 1\n addi 1\n nandi 0\n x: br x\n");
+    chip.run();
+    EXPECT_TRUE(chip.halted());
+    EXPECT_EQ(chip.stats().instructions, 4u);
+    double t = chip.elapsedSeconds();
+    EXPECT_NEAR(t, 4.0 / 12500.0, 1e-9);
+    EXPECT_NEAR(chip.energyJoules(),
+                chip.physical().staticPowerW * t, 1e-15);
+}
+
+TEST(FlexiChip, MultiPageKernelRunsThroughMmu)
+{
+    FlexiChip chip(IsaKind::FlexiCore4);
+    chip.loadProgram(kernelSource(KernelId::Calculator,
+                                  IsaKind::FlexiCore4));
+    auto inputs = kernelInputs(KernelId::Calculator, 5, 77);
+    chip.pushInputs(inputs);
+    StopReason r = chip.runUntilOutputs(10);
+    EXPECT_EQ(r, StopReason::OutputTarget);
+    EXPECT_EQ(chip.outputs(),
+              goldenOutputs(KernelId::Calculator, inputs));
+}
+
+TEST(FlexiChip, DsePointConstructorRunsExtIsa)
+{
+    DesignPoint p;
+    p.operands = OperandModel::Accumulator;
+    p.uarch = MicroArch::Pipelined2;
+    FlexiChip chip(p);
+    EXPECT_EQ(chip.isa(), IsaKind::ExtAcc4);
+    chip.loadProgram("loop: load r0\n addi 1\n store r1\n"
+                     " br.nzp loop\n");
+    chip.pushInputs({5});
+    chip.runUntilOutputs(1);
+    EXPECT_EQ(chip.outputs().front(), 6);
+    // DSE cores run at their SP&R f_max, above the IO-limited rate.
+    EXPECT_GT(chip.physical().fmaxHz, 12500.0);
+}
+
+TEST(FlexiChip, InfeasibleDsePointRejected)
+{
+    DesignPoint p;
+    p.operands = OperandModel::LoadStore;
+    p.uarch = MicroArch::SingleCycle;
+    p.bus = BusWidth::Narrow8;
+    EXPECT_THROW(FlexiChip{p}, FatalError);
+}
+
+TEST(FlexiChip, PhysicalReportMentionsKeyNumbers)
+{
+    FlexiChip chip(IsaKind::FlexiCore4);
+    std::string report = chip.physicalReport();
+    EXPECT_NE(report.find("FlexiCore4"), std::string::npos);
+    EXPECT_NE(report.find("mm^2"), std::string::npos);
+    EXPECT_NE(report.find("static power"), std::string::npos);
+}
+
+TEST(FlexiChip, ClearOutputsBetweenBatches)
+{
+    FlexiChip chip(IsaKind::FlexiCore4);
+    chip.loadProgram("loop: load r0\n store r1\n nandi 0\n br loop\n");
+    chip.pushInputs({1, 2});
+    chip.runUntilOutputs(1);
+    chip.clearOutputs();
+    chip.runUntilOutputs(1);
+    EXPECT_EQ(chip.outputs(), (std::vector<uint8_t>{2}));
+}
+
+} // namespace
+} // namespace flexi

@@ -1,0 +1,190 @@
+/**
+ * @file
+ * Tests for the execution tracer and the binary program-image
+ * container.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "assembler/assembler.hh"
+#include "assembler/program_io.hh"
+#include "common/logging.hh"
+#include "kernels/kernels.hh"
+#include "sim/core_sim.hh"
+#include "sys/flexichip.hh"
+
+namespace flexi
+{
+namespace
+{
+
+// ---------------------------------------------------------------
+// Tracer
+// ---------------------------------------------------------------
+
+TEST(Trace, RecordsEveryInstruction)
+{
+    Program p = assemble(IsaKind::FlexiCore4,
+                         "addi 5\nstore r2\nnandi 0\nx: br x\n");
+    FifoEnvironment env;
+    TimingConfig cfg{IsaKind::FlexiCore4, MicroArch::SingleCycle,
+                     BusWidth::Wide};
+    CoreSim sim(cfg, p, env);
+    TraceBuffer buf;
+    sim.setTraceSink(buf.sink());
+    sim.run(100);
+
+    ASSERT_EQ(buf.records().size(), 4u);
+    const auto &r0 = buf.records()[0];
+    EXPECT_EQ(r0.pc, 0u);
+    EXPECT_EQ(r0.inst.op, Op::Add);
+    EXPECT_EQ(r0.accBefore, 0);
+    EXPECT_EQ(r0.accAfter, 5);
+    EXPECT_FALSE(r0.taken);
+    const auto &r3 = buf.records()[3];
+    EXPECT_EQ(r3.inst.op, Op::Br);
+    EXPECT_TRUE(r3.taken);
+    EXPECT_EQ(r3.cycle, 4u);
+}
+
+TEST(Trace, FormatIsStable)
+{
+    TraceRecord rec;
+    rec.page = 0;
+    rec.pc = 7;
+    rec.inst.op = Op::Add;
+    rec.inst.mode = Mode::Imm;
+    rec.inst.operand = 3;
+    rec.accBefore = 2;
+    rec.accAfter = 5;
+    rec.cycle = 9;
+    std::string s = formatTrace(IsaKind::FlexiCore4, rec);
+    EXPECT_NE(s.find("addi 3"), std::string::npos);
+    EXPECT_NE(s.find("acc 2->5"), std::string::npos);
+    EXPECT_NE(s.find("cyc=9"), std::string::npos);
+}
+
+TEST(Trace, TracksPageSwitches)
+{
+    FlexiChip chip(IsaKind::FlexiCore4);
+    chip.loadProgram(kernelSource(KernelId::Calculator,
+                                  IsaKind::FlexiCore4));
+    TraceBuffer buf;
+    chip.setTraceSink(buf.sink());
+    chip.pushInputs({2, 3, 5, 0});   // mul 3*5 -> page 1
+    chip.runUntilOutputs(2, 100000);
+
+    bool saw_page1 = false;
+    for (const auto &rec : buf.records())
+        saw_page1 |= rec.page == 1;
+    EXPECT_TRUE(saw_page1);
+}
+
+TEST(Trace, SinkBeforeProgramFails)
+{
+    FlexiChip chip(IsaKind::FlexiCore4);
+    EXPECT_THROW(chip.setTraceSink(TraceBuffer().sink()), FatalError);
+}
+
+// ---------------------------------------------------------------
+// Program images
+// ---------------------------------------------------------------
+
+TEST(ProgramIo, RoundTripSinglePage)
+{
+    Program p = assemble(IsaKind::FlexiCore4,
+                         "load r0\naddi 3\nstore r1\nx: nandi 0\n"
+                         "br x\n");
+    std::stringstream buf;
+    saveProgram(p, buf);
+    Program q = loadProgram(buf);
+    EXPECT_EQ(q.isa(), IsaKind::FlexiCore4);
+    ASSERT_EQ(q.numPages(), 1u);
+    EXPECT_EQ(q.page(0), p.page(0));
+    EXPECT_EQ(q.staticInstructions(), p.staticInstructions());
+    EXPECT_EQ(q.codeSizeBits(), p.codeSizeBits());
+}
+
+TEST(ProgramIo, RoundTripMultiPage)
+{
+    Program p = assemble(IsaKind::FlexiCore4,
+                         kernelSource(KernelId::Calculator,
+                                      IsaKind::FlexiCore4));
+    std::stringstream buf;
+    saveProgram(p, buf);
+    Program q = loadProgram(buf);
+    ASSERT_EQ(q.numPages(), p.numPages());
+    for (unsigned i = 0; i < p.numPages(); ++i)
+        EXPECT_EQ(q.page(i), p.page(i)) << "page " << i;
+}
+
+TEST(ProgramIo, RoundTripAllIsas)
+{
+    for (IsaKind isa : {IsaKind::FlexiCore4, IsaKind::ExtAcc4,
+                        IsaKind::LoadStore4}) {
+        Program p = assemble(isa, kernelSource(KernelId::IntAvg, isa));
+        std::stringstream buf;
+        saveProgram(p, buf);
+        Program q = loadProgram(buf);
+        EXPECT_EQ(q.isa(), isa);
+        EXPECT_EQ(q.page(0), p.page(0));
+    }
+}
+
+TEST(ProgramIo, LoadedProgramRuns)
+{
+    Program p = assemble(IsaKind::FlexiCore4,
+                         "loop: load r0\naddi 1\nstore r1\n"
+                         "nandi 0\nbr loop\n");
+    std::stringstream buf;
+    saveProgram(p, buf);
+
+    FlexiChip chip(IsaKind::FlexiCore4);
+    chip.loadProgram(loadProgram(buf));
+    chip.pushInputs({7});
+    chip.runUntilOutputs(1);
+    EXPECT_EQ(chip.outputs().front(), 8);
+}
+
+TEST(ProgramIo, RejectsBadMagic)
+{
+    std::stringstream buf("NOPE....");
+    EXPECT_THROW(loadProgram(buf), FatalError);
+}
+
+TEST(ProgramIo, RejectsTruncatedImage)
+{
+    Program p = assemble(IsaKind::FlexiCore4, "addi 1\naddi 2\n");
+    std::stringstream buf;
+    saveProgram(p, buf);
+    std::string data = buf.str();
+    std::stringstream cut(data.substr(0, data.size() - 1));
+    EXPECT_THROW(loadProgram(cut), FatalError);
+}
+
+TEST(ProgramIo, RejectsBadIsaByte)
+{
+    std::string data = "FLXC";
+    data += '\x01';   // version
+    data += '\x09';   // bad isa
+    data += '\x00';   // pages
+    std::stringstream buf(data);
+    EXPECT_THROW(loadProgram(buf), FatalError);
+}
+
+TEST(ProgramIo, FileRoundTrip)
+{
+    Program p = assemble(IsaKind::LoadStore4,
+                         "movi r2, 5\nx: br.nzp x\n");
+    std::string path = "/tmp/flexi_test_prog.bin";
+    saveProgramFile(p, path);
+    Program q = loadProgramFile(path);
+    EXPECT_EQ(q.isa(), IsaKind::LoadStore4);
+    EXPECT_EQ(q.page(0), p.page(0));
+    EXPECT_THROW(loadProgramFile("/nonexistent/x.bin"), FatalError);
+}
+
+} // namespace
+} // namespace flexi

@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Calibration audit: prints every quantity the models are calibrated
+ * against next to the paper's published value, in one place. Run
+ * after touching the cell library, technology constants, netlist
+ * generators or the die model.
+ */
+
+#include <cstdio>
+
+#include "dse/area_model.hh"
+#include "netlist/flexicore_netlist.hh"
+#include "tech/technology.hh"
+#include "yield/wafer.hh"
+#include "yield/wafer_study.hh"
+
+using namespace flexi;
+
+int
+main()
+{
+    std::printf("calibration audit (ours vs paper)\n");
+    std::printf("---------------------------------\n");
+
+    WaferMap wafer;
+    std::printf("wafer: %zu dies (123), %zu inclusion-zone\n",
+                wafer.numDies(), wafer.numInclusionDies());
+
+    for (IsaKind isa : {IsaKind::FlexiCore4, IsaKind::FlexiCore8}) {
+        auto nl = isa == IsaKind::FlexiCore4
+            ? buildFlexiCore4Netlist() : buildFlexiCore8Netlist();
+        Technology tech(isa == IsaKind::FlexiCore8);
+        double crit = nl->criticalPathDelayUnits();
+        std::printf("\n%s:\n", nl->name().c_str());
+        std::printf("  cells %zu (336/366), devices %u (2104/2335), "
+                    "area %.2f mm^2 (5.56/6.05)\n", nl->numCells(),
+                    nl->totalDevices(),
+                    tech.areaMm2(nl->totalNand2Area()));
+        std::printf("  crit path %.1f gate delays -> %.1f us @4.5 V, "
+                    "%.1f us @3 V (clock period 80 us)\n", crit,
+                    crit * tech.unitDelay(4.5) * 1e6,
+                    crit * tech.unitDelay(3.0) * 1e6);
+        std::printf("  current %.2f mA @4.5 V (1.1/0.75), "
+                    "%.2f mA @3 V (0.73/0.65)\n",
+                    tech.staticCurrent(nl->totalStaticCurrentUa(),
+                                       4.5) * 1e3,
+                    tech.staticCurrent(nl->totalStaticCurrentUa(),
+                                       3.0) * 1e3);
+
+        double y45 = 0, y3 = 0;
+        RunningStat rsd;
+        constexpr int kWafers = 20;
+        for (int s = 0; s < kWafers; ++s) {
+            WaferStudyConfig cfg;
+            cfg.isa = isa;
+            cfg.seed = 900 + s;
+            cfg.gateLevelErrors = false;
+            auto res = runWaferStudy(cfg);
+            y45 += res.yield(4.5, true);
+            y3 += res.yield(3.0, true);
+            rsd.add(res.currentStats(4.5).rsd());
+        }
+        std::printf("  incl-zone yield %.0f%% @4.5 V (81/57), "
+                    "%.0f%% @3 V (55/6); current RSD %.1f%% "
+                    "(15.3/21.5)\n", 100 * y45 / kWafers,
+                    100 * y3 / kWafers, 100 * rsd.mean());
+    }
+
+    std::printf("\nDSE base point: area %.0f NAND2-eq (netlist "
+                "%.0f), power %.2f mW (4.9), fmax %.1f kHz\n",
+                baseCoreArea(),
+                buildFlexiCore4Netlist()->totalNand2Area(),
+                staticPowerOf(DesignPoint{
+                    OperandModel::Accumulator, MicroArch::SingleCycle,
+                    BusWidth::Wide, IsaFeatures::none()}) * 1e3,
+                fmaxOf(DesignPoint{
+                    OperandModel::Accumulator, MicroArch::SingleCycle,
+                    BusWidth::Wide, IsaFeatures::none()}) / 1e3);
+    return 0;
+}

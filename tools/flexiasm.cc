@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Command-line assembler.
+ *
+ *   flexi_asm <isa> <source.s>
+ *
+ * isa: fc4 | fc8 | ext | ls. Prints a hex dump per page, the symbol
+ * table and code-size statistics; exits non-zero on assembly errors.
+ */
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+#include "assembler/assembler.hh"
+#include "common/logging.hh"
+#include "isa/disassembler.hh"
+#include "isa/encoding.hh"
+
+using namespace flexi;
+
+namespace
+{
+
+IsaKind
+parseIsa(const char *name)
+{
+    if (!std::strcmp(name, "fc4"))
+        return IsaKind::FlexiCore4;
+    if (!std::strcmp(name, "fc8"))
+        return IsaKind::FlexiCore8;
+    if (!std::strcmp(name, "ext"))
+        return IsaKind::ExtAcc4;
+    if (!std::strcmp(name, "ls"))
+        return IsaKind::LoadStore4;
+    fatal("unknown ISA '%s' (expected fc4|fc8|ext|ls)", name);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    if (argc != 3) {
+        std::fprintf(stderr, "usage: %s <fc4|fc8|ext|ls> <source.s>\n",
+                     argv[0]);
+        return 2;
+    }
+    try {
+        IsaKind isa = parseIsa(argv[1]);
+        std::ifstream in(argv[2]);
+        if (!in)
+            fatal("cannot open '%s'", argv[2]);
+        std::ostringstream src;
+        src << in.rdbuf();
+
+        Program prog = assemble(isa, src.str());
+        for (unsigned p = 0; p < prog.numPages(); ++p) {
+            const auto &img = prog.page(p);
+            if (img.empty())
+                continue;
+            std::printf("; page %u (%zu bytes)\n", p, img.size());
+            for (size_t i = 0; i < img.size(); i += 16) {
+                std::printf("%04zx:", i);
+                for (size_t j = i; j < i + 16 && j < img.size(); ++j)
+                    std::printf(" %02x", img[j]);
+                std::printf("\n");
+            }
+            std::printf("; listing\n%s",
+                        disassembleImage(isa, img).c_str());
+        }
+        std::printf("; symbols\n");
+        for (const auto &[name, loc] : prog.symbols())
+            std::printf(";   %-16s page %u addr %u\n", name.c_str(),
+                        loc.page, loc.addr);
+        std::printf("; %zu instructions, %zu bits (%zu bytes), "
+                    "%u page(s)\n", prog.staticInstructions(),
+                    prog.codeSizeBits(), prog.codeSizeBytes(),
+                    prog.numPages());
+        return 0;
+    } catch (const FatalError &e) {
+        std::fprintf(stderr, "%s\n", e.what());
+        return 1;
+    }
+}

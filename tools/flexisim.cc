@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Command-line simulator.
+ *
+ *   flexi_sim <isa> <source.s> [inputs...]
+ *
+ * Assembles and runs the program on the corresponding core (with the
+ * off-chip MMU for multi-page programs), feeding the given input
+ * values, until the program halts (taken branch to itself) or the
+ * instruction budget runs out. Prints outputs, statistics, runtime
+ * and energy.
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+#include "common/logging.hh"
+#include "dse/design_point.hh"
+#include "sys/flexichip.hh"
+
+using namespace flexi;
+
+namespace
+{
+
+std::unique_ptr<FlexiChip>
+makeChip(const char *name)
+{
+    if (!std::strcmp(name, "fc4"))
+        return std::make_unique<FlexiChip>(IsaKind::FlexiCore4);
+    if (!std::strcmp(name, "fc8"))
+        return std::make_unique<FlexiChip>(IsaKind::FlexiCore8);
+    DesignPoint p;
+    if (!std::strcmp(name, "ext")) {
+        p.operands = OperandModel::Accumulator;
+        return std::make_unique<FlexiChip>(p);
+    }
+    if (!std::strcmp(name, "ls")) {
+        p.operands = OperandModel::LoadStore;
+        return std::make_unique<FlexiChip>(p);
+    }
+    fatal("unknown ISA '%s' (expected fc4|fc8|ext|ls)", name);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    bool trace = argc > 1 && !std::strcmp(argv[1], "-t");
+    int base = trace ? 2 : 1;
+    if (argc < base + 2) {
+        std::fprintf(stderr,
+                     "usage: %s [-t] <fc4|fc8|ext|ls> <source.s> "
+                     "[inputs...]\n", argv[0]);
+        return 2;
+    }
+    try {
+        auto chip = makeChip(argv[base]);
+        std::ifstream in(argv[base + 1]);
+        if (!in)
+            fatal("cannot open '%s'", argv[base + 1]);
+        std::ostringstream src;
+        src << in.rdbuf();
+        chip->loadProgram(src.str());
+
+        IsaKind isa = chip->isa();
+        if (trace) {
+            chip->setTraceSink([isa](const TraceRecord &rec) {
+                std::printf("%s\n", formatTrace(isa, rec).c_str());
+            });
+        }
+
+        for (int i = base + 2; i < argc; ++i)
+            chip->pushInput(static_cast<uint8_t>(
+                std::strtoul(argv[i], nullptr, 0)));
+
+        StopReason reason = chip->run(1000000);
+        std::printf("stopped: %s\n",
+                    reason == StopReason::Halted ? "halted"
+                                                 : "budget");
+        std::printf("outputs:");
+        for (uint8_t v : chip->outputs())
+            std::printf(" 0x%x", v);
+        std::printf("\n");
+        const SimStats &s = chip->stats();
+        std::printf("instructions %lu, cycles %lu (CPI %.2f), "
+                    "branches %lu taken %lu\n",
+                    static_cast<unsigned long>(s.instructions),
+                    static_cast<unsigned long>(s.cycles), s.cpi(),
+                    static_cast<unsigned long>(s.branches),
+                    static_cast<unsigned long>(s.takenBranches));
+        std::printf("time %.3f ms, energy %.2f uJ\n\n%s",
+                    chip->elapsedSeconds() * 1e3,
+                    chip->energyJoules() * 1e6,
+                    chip->physicalReport().c_str());
+        return 0;
+    } catch (const FatalError &e) {
+        std::fprintf(stderr, "%s\n", e.what());
+        return 1;
+    }
+}
