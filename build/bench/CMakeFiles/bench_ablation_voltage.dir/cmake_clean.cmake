@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_voltage.dir/bench_ablation_voltage.cc.o"
+  "CMakeFiles/bench_ablation_voltage.dir/bench_ablation_voltage.cc.o.d"
+  "bench_ablation_voltage"
+  "bench_ablation_voltage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_voltage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

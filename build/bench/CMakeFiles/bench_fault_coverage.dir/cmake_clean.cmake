@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fault_coverage.dir/bench_fault_coverage.cc.o"
+  "CMakeFiles/bench_fault_coverage.dir/bench_fault_coverage.cc.o.d"
+  "bench_fault_coverage"
+  "bench_fault_coverage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fault_coverage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig11_dse_kernels.dir/bench_fig11_dse_kernels.cc.o"
+  "CMakeFiles/bench_fig11_dse_kernels.dir/bench_fig11_dse_kernels.cc.o.d"
+  "bench_fig11_dse_kernels"
+  "bench_fig11_dse_kernels.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig11_dse_kernels.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

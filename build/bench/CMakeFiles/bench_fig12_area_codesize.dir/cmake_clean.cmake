@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig12_area_codesize.dir/bench_fig12_area_codesize.cc.o"
+  "CMakeFiles/bench_fig12_area_codesize.dir/bench_fig12_area_codesize.cc.o.d"
+  "bench_fig12_area_codesize"
+  "bench_fig12_area_codesize.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig12_area_codesize.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

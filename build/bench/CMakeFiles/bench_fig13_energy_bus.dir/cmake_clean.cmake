@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig13_energy_bus.dir/bench_fig13_energy_bus.cc.o"
+  "CMakeFiles/bench_fig13_energy_bus.dir/bench_fig13_energy_bus.cc.o.d"
+  "bench_fig13_energy_bus"
+  "bench_fig13_energy_bus.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig13_energy_bus.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig6_error_maps.dir/bench_fig6_error_maps.cc.o"
+  "CMakeFiles/bench_fig6_error_maps.dir/bench_fig6_error_maps.cc.o.d"
+  "bench_fig6_error_maps"
+  "bench_fig6_error_maps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_error_maps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig9_extensions.dir/bench_fig9_extensions.cc.o"
+  "CMakeFiles/bench_fig9_extensions.dir/bench_fig9_extensions.cc.o.d"
+  "bench_fig9_extensions"
+  "bench_fig9_extensions.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig9_extensions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table1_applications.dir/bench_table1_applications.cc.o"
+  "CMakeFiles/bench_table1_applications.dir/bench_table1_applications.cc.o.d"
+  "bench_table1_applications"
+  "bench_table1_applications.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_applications.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table5_yield.dir/bench_table5_yield.cc.o"
+  "CMakeFiles/bench_table5_yield.dir/bench_table5_yield.cc.o.d"
+  "bench_table5_yield"
+  "bench_table5_yield.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table5_yield.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

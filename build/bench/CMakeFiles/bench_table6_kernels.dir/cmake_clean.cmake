@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table6_kernels.dir/bench_table6_kernels.cc.o"
+  "CMakeFiles/bench_table6_kernels.dir/bench_table6_kernels.cc.o.d"
+  "bench_table6_kernels"
+  "bench_table6_kernels.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table6_kernels.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

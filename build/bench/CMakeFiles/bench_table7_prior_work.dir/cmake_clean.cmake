@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table7_prior_work.dir/bench_table7_prior_work.cc.o"
+  "CMakeFiles/bench_table7_prior_work.dir/bench_table7_prior_work.cc.o.d"
+  "bench_table7_prior_work"
+  "bench_table7_prior_work.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table7_prior_work.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dse_explorer.dir/dse_explorer.cc.o"
+  "CMakeFiles/dse_explorer.dir/dse_explorer.cc.o.d"
+  "dse_explorer"
+  "dse_explorer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dse_explorer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

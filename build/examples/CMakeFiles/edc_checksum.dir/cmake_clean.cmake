@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/edc_checksum.dir/edc_checksum.cc.o"
+  "CMakeFiles/edc_checksum.dir/edc_checksum.cc.o.d"
+  "edc_checksum"
+  "edc_checksum.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/edc_checksum.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for edc_checksum.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,2 @@
+# Empty dependencies file for edc_checksum.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/quickstart.cc" "examples/CMakeFiles/quickstart.dir/quickstart.cc.o" "gcc" "examples/CMakeFiles/quickstart.dir/quickstart.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sys/CMakeFiles/flexi_sys.dir/DependInfo.cmake"
+  "/root/repo/build/src/dse/CMakeFiles/flexi_dse.dir/DependInfo.cmake"
+  "/root/repo/build/src/kernels/CMakeFiles/flexi_kernels.dir/DependInfo.cmake"
+  "/root/repo/build/src/netlist/CMakeFiles/flexi_netlist.dir/DependInfo.cmake"
+  "/root/repo/build/src/tech/CMakeFiles/flexi_tech.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/flexi_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/assembler/CMakeFiles/flexi_asm.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/flexi_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/flexi_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

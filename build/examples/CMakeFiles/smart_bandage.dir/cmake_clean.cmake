@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/smart_bandage.dir/smart_bandage.cc.o"
+  "CMakeFiles/smart_bandage.dir/smart_bandage.cc.o.d"
+  "smart_bandage"
+  "smart_bandage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/smart_bandage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

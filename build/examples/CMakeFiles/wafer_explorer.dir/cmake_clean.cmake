@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wafer_explorer.dir/wafer_explorer.cc.o"
+  "CMakeFiles/wafer_explorer.dir/wafer_explorer.cc.o.d"
+  "wafer_explorer"
+  "wafer_explorer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wafer_explorer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/assembler/assembler.cc" "src/assembler/CMakeFiles/flexi_asm.dir/assembler.cc.o" "gcc" "src/assembler/CMakeFiles/flexi_asm.dir/assembler.cc.o.d"
+  "/root/repo/src/assembler/program.cc" "src/assembler/CMakeFiles/flexi_asm.dir/program.cc.o" "gcc" "src/assembler/CMakeFiles/flexi_asm.dir/program.cc.o.d"
+  "/root/repo/src/assembler/program_io.cc" "src/assembler/CMakeFiles/flexi_asm.dir/program_io.cc.o" "gcc" "src/assembler/CMakeFiles/flexi_asm.dir/program_io.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/isa/CMakeFiles/flexi_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/flexi_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

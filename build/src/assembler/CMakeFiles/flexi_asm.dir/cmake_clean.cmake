@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flexi_asm.dir/assembler.cc.o"
+  "CMakeFiles/flexi_asm.dir/assembler.cc.o.d"
+  "CMakeFiles/flexi_asm.dir/program.cc.o"
+  "CMakeFiles/flexi_asm.dir/program.cc.o.d"
+  "CMakeFiles/flexi_asm.dir/program_io.cc.o"
+  "CMakeFiles/flexi_asm.dir/program_io.cc.o.d"
+  "libflexi_asm.a"
+  "libflexi_asm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flexi_asm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

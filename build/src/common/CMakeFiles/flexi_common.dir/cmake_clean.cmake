@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flexi_common.dir/logging.cc.o"
+  "CMakeFiles/flexi_common.dir/logging.cc.o.d"
+  "CMakeFiles/flexi_common.dir/rng.cc.o"
+  "CMakeFiles/flexi_common.dir/rng.cc.o.d"
+  "CMakeFiles/flexi_common.dir/stats.cc.o"
+  "CMakeFiles/flexi_common.dir/stats.cc.o.d"
+  "libflexi_common.a"
+  "libflexi_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flexi_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dse/area_model.cc" "src/dse/CMakeFiles/flexi_dse.dir/area_model.cc.o" "gcc" "src/dse/CMakeFiles/flexi_dse.dir/area_model.cc.o.d"
+  "/root/repo/src/dse/code_size.cc" "src/dse/CMakeFiles/flexi_dse.dir/code_size.cc.o" "gcc" "src/dse/CMakeFiles/flexi_dse.dir/code_size.cc.o.d"
+  "/root/repo/src/dse/design_point.cc" "src/dse/CMakeFiles/flexi_dse.dir/design_point.cc.o" "gcc" "src/dse/CMakeFiles/flexi_dse.dir/design_point.cc.o.d"
+  "/root/repo/src/dse/perf_model.cc" "src/dse/CMakeFiles/flexi_dse.dir/perf_model.cc.o" "gcc" "src/dse/CMakeFiles/flexi_dse.dir/perf_model.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/kernels/CMakeFiles/flexi_kernels.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/flexi_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/tech/CMakeFiles/flexi_tech.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/flexi_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/assembler/CMakeFiles/flexi_asm.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/flexi_isa.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

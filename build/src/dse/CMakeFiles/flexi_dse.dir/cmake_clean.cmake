@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flexi_dse.dir/area_model.cc.o"
+  "CMakeFiles/flexi_dse.dir/area_model.cc.o.d"
+  "CMakeFiles/flexi_dse.dir/code_size.cc.o"
+  "CMakeFiles/flexi_dse.dir/code_size.cc.o.d"
+  "CMakeFiles/flexi_dse.dir/design_point.cc.o"
+  "CMakeFiles/flexi_dse.dir/design_point.cc.o.d"
+  "CMakeFiles/flexi_dse.dir/perf_model.cc.o"
+  "CMakeFiles/flexi_dse.dir/perf_model.cc.o.d"
+  "libflexi_dse.a"
+  "libflexi_dse.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flexi_dse.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/isa/disassembler.cc" "src/isa/CMakeFiles/flexi_isa.dir/disassembler.cc.o" "gcc" "src/isa/CMakeFiles/flexi_isa.dir/disassembler.cc.o.d"
+  "/root/repo/src/isa/encoding.cc" "src/isa/CMakeFiles/flexi_isa.dir/encoding.cc.o" "gcc" "src/isa/CMakeFiles/flexi_isa.dir/encoding.cc.o.d"
+  "/root/repo/src/isa/encoding_ext.cc" "src/isa/CMakeFiles/flexi_isa.dir/encoding_ext.cc.o" "gcc" "src/isa/CMakeFiles/flexi_isa.dir/encoding_ext.cc.o.d"
+  "/root/repo/src/isa/encoding_fc4.cc" "src/isa/CMakeFiles/flexi_isa.dir/encoding_fc4.cc.o" "gcc" "src/isa/CMakeFiles/flexi_isa.dir/encoding_fc4.cc.o.d"
+  "/root/repo/src/isa/encoding_fc8.cc" "src/isa/CMakeFiles/flexi_isa.dir/encoding_fc8.cc.o" "gcc" "src/isa/CMakeFiles/flexi_isa.dir/encoding_fc8.cc.o.d"
+  "/root/repo/src/isa/encoding_ls.cc" "src/isa/CMakeFiles/flexi_isa.dir/encoding_ls.cc.o" "gcc" "src/isa/CMakeFiles/flexi_isa.dir/encoding_ls.cc.o.d"
+  "/root/repo/src/isa/isa.cc" "src/isa/CMakeFiles/flexi_isa.dir/isa.cc.o" "gcc" "src/isa/CMakeFiles/flexi_isa.dir/isa.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/flexi_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flexi_isa.dir/disassembler.cc.o"
+  "CMakeFiles/flexi_isa.dir/disassembler.cc.o.d"
+  "CMakeFiles/flexi_isa.dir/encoding.cc.o"
+  "CMakeFiles/flexi_isa.dir/encoding.cc.o.d"
+  "CMakeFiles/flexi_isa.dir/encoding_ext.cc.o"
+  "CMakeFiles/flexi_isa.dir/encoding_ext.cc.o.d"
+  "CMakeFiles/flexi_isa.dir/encoding_fc4.cc.o"
+  "CMakeFiles/flexi_isa.dir/encoding_fc4.cc.o.d"
+  "CMakeFiles/flexi_isa.dir/encoding_fc8.cc.o"
+  "CMakeFiles/flexi_isa.dir/encoding_fc8.cc.o.d"
+  "CMakeFiles/flexi_isa.dir/encoding_ls.cc.o"
+  "CMakeFiles/flexi_isa.dir/encoding_ls.cc.o.d"
+  "CMakeFiles/flexi_isa.dir/isa.cc.o"
+  "CMakeFiles/flexi_isa.dir/isa.cc.o.d"
+  "libflexi_isa.a"
+  "libflexi_isa.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flexi_isa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

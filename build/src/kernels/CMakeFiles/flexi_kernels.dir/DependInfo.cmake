@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/kernels/fc8_programs.cc" "src/kernels/CMakeFiles/flexi_kernels.dir/fc8_programs.cc.o" "gcc" "src/kernels/CMakeFiles/flexi_kernels.dir/fc8_programs.cc.o.d"
+  "/root/repo/src/kernels/golden.cc" "src/kernels/CMakeFiles/flexi_kernels.dir/golden.cc.o" "gcc" "src/kernels/CMakeFiles/flexi_kernels.dir/golden.cc.o.d"
+  "/root/repo/src/kernels/inputs.cc" "src/kernels/CMakeFiles/flexi_kernels.dir/inputs.cc.o" "gcc" "src/kernels/CMakeFiles/flexi_kernels.dir/inputs.cc.o.d"
+  "/root/repo/src/kernels/kernel_source.cc" "src/kernels/CMakeFiles/flexi_kernels.dir/kernel_source.cc.o" "gcc" "src/kernels/CMakeFiles/flexi_kernels.dir/kernel_source.cc.o.d"
+  "/root/repo/src/kernels/kernels.cc" "src/kernels/CMakeFiles/flexi_kernels.dir/kernels.cc.o" "gcc" "src/kernels/CMakeFiles/flexi_kernels.dir/kernels.cc.o.d"
+  "/root/repo/src/kernels/kernels_ext.cc" "src/kernels/CMakeFiles/flexi_kernels.dir/kernels_ext.cc.o" "gcc" "src/kernels/CMakeFiles/flexi_kernels.dir/kernels_ext.cc.o.d"
+  "/root/repo/src/kernels/kernels_fc4.cc" "src/kernels/CMakeFiles/flexi_kernels.dir/kernels_fc4.cc.o" "gcc" "src/kernels/CMakeFiles/flexi_kernels.dir/kernels_fc4.cc.o.d"
+  "/root/repo/src/kernels/kernels_ls.cc" "src/kernels/CMakeFiles/flexi_kernels.dir/kernels_ls.cc.o" "gcc" "src/kernels/CMakeFiles/flexi_kernels.dir/kernels_ls.cc.o.d"
+  "/root/repo/src/kernels/runner.cc" "src/kernels/CMakeFiles/flexi_kernels.dir/runner.cc.o" "gcc" "src/kernels/CMakeFiles/flexi_kernels.dir/runner.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/flexi_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/assembler/CMakeFiles/flexi_asm.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/flexi_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/flexi_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flexi_kernels.dir/fc8_programs.cc.o"
+  "CMakeFiles/flexi_kernels.dir/fc8_programs.cc.o.d"
+  "CMakeFiles/flexi_kernels.dir/golden.cc.o"
+  "CMakeFiles/flexi_kernels.dir/golden.cc.o.d"
+  "CMakeFiles/flexi_kernels.dir/inputs.cc.o"
+  "CMakeFiles/flexi_kernels.dir/inputs.cc.o.d"
+  "CMakeFiles/flexi_kernels.dir/kernel_source.cc.o"
+  "CMakeFiles/flexi_kernels.dir/kernel_source.cc.o.d"
+  "CMakeFiles/flexi_kernels.dir/kernels.cc.o"
+  "CMakeFiles/flexi_kernels.dir/kernels.cc.o.d"
+  "CMakeFiles/flexi_kernels.dir/kernels_ext.cc.o"
+  "CMakeFiles/flexi_kernels.dir/kernels_ext.cc.o.d"
+  "CMakeFiles/flexi_kernels.dir/kernels_fc4.cc.o"
+  "CMakeFiles/flexi_kernels.dir/kernels_fc4.cc.o.d"
+  "CMakeFiles/flexi_kernels.dir/kernels_ls.cc.o"
+  "CMakeFiles/flexi_kernels.dir/kernels_ls.cc.o.d"
+  "CMakeFiles/flexi_kernels.dir/runner.cc.o"
+  "CMakeFiles/flexi_kernels.dir/runner.cc.o.d"
+  "libflexi_kernels.a"
+  "libflexi_kernels.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flexi_kernels.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

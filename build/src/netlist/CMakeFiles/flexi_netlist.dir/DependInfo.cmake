@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/netlist/builder.cc" "src/netlist/CMakeFiles/flexi_netlist.dir/builder.cc.o" "gcc" "src/netlist/CMakeFiles/flexi_netlist.dir/builder.cc.o.d"
+  "/root/repo/src/netlist/extacc4_netlist.cc" "src/netlist/CMakeFiles/flexi_netlist.dir/extacc4_netlist.cc.o" "gcc" "src/netlist/CMakeFiles/flexi_netlist.dir/extacc4_netlist.cc.o.d"
+  "/root/repo/src/netlist/flexicore4_netlist.cc" "src/netlist/CMakeFiles/flexi_netlist.dir/flexicore4_netlist.cc.o" "gcc" "src/netlist/CMakeFiles/flexi_netlist.dir/flexicore4_netlist.cc.o.d"
+  "/root/repo/src/netlist/flexicore8_netlist.cc" "src/netlist/CMakeFiles/flexi_netlist.dir/flexicore8_netlist.cc.o" "gcc" "src/netlist/CMakeFiles/flexi_netlist.dir/flexicore8_netlist.cc.o.d"
+  "/root/repo/src/netlist/loadstore4_netlist.cc" "src/netlist/CMakeFiles/flexi_netlist.dir/loadstore4_netlist.cc.o" "gcc" "src/netlist/CMakeFiles/flexi_netlist.dir/loadstore4_netlist.cc.o.d"
+  "/root/repo/src/netlist/lockstep.cc" "src/netlist/CMakeFiles/flexi_netlist.dir/lockstep.cc.o" "gcc" "src/netlist/CMakeFiles/flexi_netlist.dir/lockstep.cc.o.d"
+  "/root/repo/src/netlist/netlist.cc" "src/netlist/CMakeFiles/flexi_netlist.dir/netlist.cc.o" "gcc" "src/netlist/CMakeFiles/flexi_netlist.dir/netlist.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/flexi_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/tech/CMakeFiles/flexi_tech.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/flexi_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/flexi_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/assembler/CMakeFiles/flexi_asm.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flexi_netlist.dir/builder.cc.o"
+  "CMakeFiles/flexi_netlist.dir/builder.cc.o.d"
+  "CMakeFiles/flexi_netlist.dir/extacc4_netlist.cc.o"
+  "CMakeFiles/flexi_netlist.dir/extacc4_netlist.cc.o.d"
+  "CMakeFiles/flexi_netlist.dir/flexicore4_netlist.cc.o"
+  "CMakeFiles/flexi_netlist.dir/flexicore4_netlist.cc.o.d"
+  "CMakeFiles/flexi_netlist.dir/flexicore8_netlist.cc.o"
+  "CMakeFiles/flexi_netlist.dir/flexicore8_netlist.cc.o.d"
+  "CMakeFiles/flexi_netlist.dir/loadstore4_netlist.cc.o"
+  "CMakeFiles/flexi_netlist.dir/loadstore4_netlist.cc.o.d"
+  "CMakeFiles/flexi_netlist.dir/lockstep.cc.o"
+  "CMakeFiles/flexi_netlist.dir/lockstep.cc.o.d"
+  "CMakeFiles/flexi_netlist.dir/netlist.cc.o"
+  "CMakeFiles/flexi_netlist.dir/netlist.cc.o.d"
+  "libflexi_netlist.a"
+  "libflexi_netlist.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flexi_netlist.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libflexi_netlist.a"
+)

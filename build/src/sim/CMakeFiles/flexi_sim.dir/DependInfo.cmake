@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/core_sim.cc" "src/sim/CMakeFiles/flexi_sim.dir/core_sim.cc.o" "gcc" "src/sim/CMakeFiles/flexi_sim.dir/core_sim.cc.o.d"
+  "/root/repo/src/sim/environment.cc" "src/sim/CMakeFiles/flexi_sim.dir/environment.cc.o" "gcc" "src/sim/CMakeFiles/flexi_sim.dir/environment.cc.o.d"
+  "/root/repo/src/sim/mmu.cc" "src/sim/CMakeFiles/flexi_sim.dir/mmu.cc.o" "gcc" "src/sim/CMakeFiles/flexi_sim.dir/mmu.cc.o.d"
+  "/root/repo/src/sim/timing.cc" "src/sim/CMakeFiles/flexi_sim.dir/timing.cc.o" "gcc" "src/sim/CMakeFiles/flexi_sim.dir/timing.cc.o.d"
+  "/root/repo/src/sim/trace.cc" "src/sim/CMakeFiles/flexi_sim.dir/trace.cc.o" "gcc" "src/sim/CMakeFiles/flexi_sim.dir/trace.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/assembler/CMakeFiles/flexi_asm.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/flexi_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/flexi_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flexi_sim.dir/core_sim.cc.o"
+  "CMakeFiles/flexi_sim.dir/core_sim.cc.o.d"
+  "CMakeFiles/flexi_sim.dir/environment.cc.o"
+  "CMakeFiles/flexi_sim.dir/environment.cc.o.d"
+  "CMakeFiles/flexi_sim.dir/mmu.cc.o"
+  "CMakeFiles/flexi_sim.dir/mmu.cc.o.d"
+  "CMakeFiles/flexi_sim.dir/timing.cc.o"
+  "CMakeFiles/flexi_sim.dir/timing.cc.o.d"
+  "CMakeFiles/flexi_sim.dir/trace.cc.o"
+  "CMakeFiles/flexi_sim.dir/trace.cc.o.d"
+  "libflexi_sim.a"
+  "libflexi_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flexi_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flexi_sys.dir/flexichip.cc.o"
+  "CMakeFiles/flexi_sys.dir/flexichip.cc.o.d"
+  "libflexi_sys.a"
+  "libflexi_sys.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flexi_sys.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

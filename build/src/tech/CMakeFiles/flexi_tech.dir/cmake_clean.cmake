@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flexi_tech.dir/cell_library.cc.o"
+  "CMakeFiles/flexi_tech.dir/cell_library.cc.o.d"
+  "CMakeFiles/flexi_tech.dir/technology.cc.o"
+  "CMakeFiles/flexi_tech.dir/technology.cc.o.d"
+  "libflexi_tech.a"
+  "libflexi_tech.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flexi_tech.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flexi_yield.dir/die_model.cc.o"
+  "CMakeFiles/flexi_yield.dir/die_model.cc.o.d"
+  "CMakeFiles/flexi_yield.dir/test_program.cc.o"
+  "CMakeFiles/flexi_yield.dir/test_program.cc.o.d"
+  "CMakeFiles/flexi_yield.dir/wafer.cc.o"
+  "CMakeFiles/flexi_yield.dir/wafer.cc.o.d"
+  "CMakeFiles/flexi_yield.dir/wafer_study.cc.o"
+  "CMakeFiles/flexi_yield.dir/wafer_study.cc.o.d"
+  "libflexi_yield.a"
+  "libflexi_yield.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flexi_yield.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

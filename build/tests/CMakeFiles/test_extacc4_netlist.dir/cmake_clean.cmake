@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_extacc4_netlist.dir/test_extacc4_netlist.cc.o"
+  "CMakeFiles/test_extacc4_netlist.dir/test_extacc4_netlist.cc.o.d"
+  "test_extacc4_netlist"
+  "test_extacc4_netlist.pdb"
+  "test_extacc4_netlist[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_extacc4_netlist.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

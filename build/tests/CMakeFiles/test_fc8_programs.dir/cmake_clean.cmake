@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_fc8_programs.dir/test_fc8_programs.cc.o"
+  "CMakeFiles/test_fc8_programs.dir/test_fc8_programs.cc.o.d"
+  "test_fc8_programs"
+  "test_fc8_programs.pdb"
+  "test_fc8_programs[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_fc8_programs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_loadstore4_netlist.dir/test_loadstore4_netlist.cc.o"
+  "CMakeFiles/test_loadstore4_netlist.dir/test_loadstore4_netlist.cc.o.d"
+  "test_loadstore4_netlist"
+  "test_loadstore4_netlist.pdb"
+  "test_loadstore4_netlist[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_loadstore4_netlist.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sys.dir/test_sys.cc.o"
+  "CMakeFiles/test_sys.dir/test_sys.cc.o.d"
+  "test_sys"
+  "test_sys.pdb"
+  "test_sys[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sys.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_yield.dir/test_yield.cc.o"
+  "CMakeFiles/test_yield.dir/test_yield.cc.o.d"
+  "test_yield"
+  "test_yield.pdb"
+  "test_yield[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_yield.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

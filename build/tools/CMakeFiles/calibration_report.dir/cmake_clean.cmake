@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/calibration_report.dir/calibration_report.cc.o"
+  "CMakeFiles/calibration_report.dir/calibration_report.cc.o.d"
+  "calibration_report"
+  "calibration_report.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/calibration_report.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flexiasm.dir/flexiasm.cc.o"
+  "CMakeFiles/flexiasm.dir/flexiasm.cc.o.d"
+  "flexiasm"
+  "flexiasm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flexiasm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

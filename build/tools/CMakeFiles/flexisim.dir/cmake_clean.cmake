@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flexisim.dir/flexisim.cc.o"
+  "CMakeFiles/flexisim.dir/flexisim.cc.o.d"
+  "flexisim"
+  "flexisim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flexisim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
