@@ -1,0 +1,113 @@
+#include "diagnostics.hh"
+
+#include "common/logging.hh"
+
+namespace flexi
+{
+
+const char *
+severityName(Severity severity)
+{
+    switch (severity) {
+      case Severity::Note: return "note";
+      case Severity::Warning: return "warning";
+      case Severity::Error: return "error";
+    }
+    panic("severityName: bad Severity");
+}
+
+void
+LintReport::append(const LintReport &other)
+{
+    diags_.insert(diags_.end(), other.diags_.begin(),
+                  other.diags_.end());
+}
+
+size_t
+LintReport::count(Severity severity) const
+{
+    size_t n = 0;
+    for (const auto &d : diags_)
+        if (d.severity == severity)
+            ++n;
+    return n;
+}
+
+std::vector<Diagnostic>
+LintReport::byRule(const std::string &rule) const
+{
+    std::vector<Diagnostic> out;
+    for (const auto &d : diags_)
+        if (d.rule == rule)
+            out.push_back(d);
+    return out;
+}
+
+std::string
+LintReport::text(const std::string &subject) const
+{
+    std::string out;
+    for (const auto &d : diags_) {
+        out += subject + ": " + severityName(d.severity) + "[" +
+               d.rule + "]";
+        if (!d.module.empty())
+            out += " " + d.module;
+        if (d.page >= 0)
+            out += strfmt(" page %d addr %d", d.page, d.addr);
+        out += ": " + d.message + "\n";
+    }
+    return out;
+}
+
+namespace
+{
+
+/** Minimal JSON string escaping (quotes, backslashes, control). */
+std::string
+jsonEscape(const std::string &s)
+{
+    std::string out;
+    for (char c : s) {
+        switch (c) {
+          case '"': out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\n': out += "\\n"; break;
+          case '\t': out += "\\t"; break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20)
+                out += strfmt("\\u%04x", c);
+            else
+                out += c;
+        }
+    }
+    return out;
+}
+
+} // namespace
+
+std::string
+LintReport::json(const std::string &subject) const
+{
+    std::string out = "[";
+    for (size_t i = 0; i < diags_.size(); ++i) {
+        const Diagnostic &d = diags_[i];
+        if (i)
+            out += ",";
+        out += "\n  {";
+        out += "\"subject\": \"" + jsonEscape(subject) + "\", ";
+        out += strfmt("\"severity\": \"%s\", ",
+                      severityName(d.severity));
+        out += "\"rule\": \"" + jsonEscape(d.rule) + "\", ";
+        out += "\"module\": \"" + jsonEscape(d.module) + "\", ";
+        out += strfmt("\"page\": %d, \"addr\": %d, ", d.page, d.addr);
+        out += "\"nets\": [";
+        for (size_t k = 0; k < d.nets.size(); ++k)
+            out += strfmt("%s%u", k ? ", " : "", d.nets[k]);
+        out += "], ";
+        out += "\"message\": \"" + jsonEscape(d.message) + "\"}";
+    }
+    out += "\n]\n";
+    return out;
+}
+
+} // namespace flexi

@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Electrical-rule lint over a gate-level Netlist.
+ *
+ * The yield and fault-coverage experiments assume every structural
+ * netlist is electrically well-formed; this pass checks that
+ * mechanically instead of by eyeball (docs/LINT.md has the full rule
+ * catalogue):
+ *
+ *  - unconnected-input (error): a cell input left at kNoNet;
+ *  - undriven-net      (error): a net consumed by a cell or primary
+ *    output but driven by nothing;
+ *  - multiple-drivers  (error): a net driven by more than one cell
+ *    output (or a cell output shorted to a primary input);
+ *  - comb-loop         (error): a combinational cycle, reported as
+ *    the actual cell path with module tags and net names;
+ *  - fanout-limit      (error): a net loaded beyond its driver's
+ *    drive limit from the cell library (pads use kPadMaxFanout);
+ *  - dead-logic      (warning): cells whose output reaches no
+ *    primary output or DFF, aggregated per module;
+ *  - const-output    (warning): gates whose output is statically
+ *    constant under forward constant propagation from the const0 /
+ *    const1 rails.
+ *
+ * The pass works on un-elaborated netlists, so deliberately broken
+ * fixtures can be linted without tripping elaborate()'s panics.
+ */
+
+#ifndef FLEXI_ANALYSIS_NETLIST_LINT_HH
+#define FLEXI_ANALYSIS_NETLIST_LINT_HH
+
+#include "analysis/diagnostics.hh"
+#include "netlist/netlist.hh"
+
+namespace flexi
+{
+
+/** Run all netlist lint rules over @p nl. */
+LintReport lintNetlist(const Netlist &nl);
+
+} // namespace flexi
+
+#endif // FLEXI_ANALYSIS_NETLIST_LINT_HH

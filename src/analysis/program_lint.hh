@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Static analysis over an assembled Program, for all four ISAs.
+ *
+ * The pass builds the control-flow graph by abstract interpretation
+ * from the power-on entry point (page 0, address 0): it tracks
+ * constant values of the accumulator / registers / data memory, the
+ * carry flag, the return register, and — crucially — the off-chip
+ * MMU's escape FST, so that the software page-switch idiom
+ * (emit {0xA, 0x5, page}, then branch) is followed across pages
+ * exactly like the hardware follows it. On top of that CFG it checks
+ * (docs/LINT.md has the catalogue):
+ *
+ *  - target-beyond-code / fall-off-code (error): control transfers
+ *    into (or execution runs into) the uninitialized remainder of a
+ *    128-entry page, where the idle bus reads as zeros;
+ *  - misaligned-target (error): a branch/call lands mid-way into a
+ *    two-byte instruction (FlexiCore8 ldb, ExtAcc4 br/call);
+ *  - write-to-input-port (error): a store to the read-only input
+ *    address (a silent no-op on the fabricated parts);
+ *  - ret-without-call (error) / nested-call (warning): ExtAcc4 /
+ *    LoadStore4 return-register discipline;
+ *  - page-indeterminate (warning): a taken branch whose pending MMU
+ *    page cannot be determined statically;
+ *  - unreachable-code (warning): assembled bytes no execution path
+ *    reaches;
+ *  - uninit-acc-read / uninit-mem-read (warning): reads that rely on
+ *    the power-on register state rather than a program write;
+ *  - invalid-opcode (warning): reserved encodings (architected
+ *    no-ops) on an execution path.
+ *
+ * Static assumption (same as the paper's MMU contract): ordinary
+ * output data never forms the exact escape triple, so only literal
+ * constant stores advance the modeled FST.
+ */
+
+#ifndef FLEXI_ANALYSIS_PROGRAM_LINT_HH
+#define FLEXI_ANALYSIS_PROGRAM_LINT_HH
+
+#include "analysis/diagnostics.hh"
+#include "assembler/program.hh"
+
+namespace flexi
+{
+
+/** Run all program lint rules over @p prog. */
+LintReport lintProgram(const Program &prog);
+
+} // namespace flexi
+
+#endif // FLEXI_ANALYSIS_PROGRAM_LINT_HH

@@ -2,6 +2,7 @@
 
 #include <memory>
 
+#include "analysis/program_lint.hh"
 #include "assembler/assembler.hh"
 #include "common/logging.hh"
 #include "kernels/inputs.hh"
@@ -23,6 +24,15 @@ runKernelOnInputs(KernelId id, const TimingConfig &cfg,
     size_t work = inputs.size() / per_in;
 
     Program prog = assemble(cfg.isa, kernelSource(id, cfg.isa));
+
+#ifndef NDEBUG
+    // Debug builds refuse to simulate a kernel the linter rejects;
+    // a broken kernel fails loudly here instead of producing a
+    // mysteriously wrong output stream downstream.
+    if (LintReport rep = lintProgram(prog); rep.errors() > 0)
+        panic("%s/%s fails program lint:\n%s", kernelName(id),
+              isaName(cfg.isa), rep.text("flexilint").c_str());
+#endif
 
     FifoEnvironment io;
     io.pushInputs(inputs);

@@ -90,6 +90,135 @@ Netlist::setDffInput(NetId q, NetId d)
 }
 
 void
+Netlist::rewireCellInput(size_t cell, size_t input, NetId net)
+{
+    checkElaborated(false);
+    if (cell >= cells_.size())
+        panic("rewireCellInput: bad cell %zu", cell);
+    if (input >= cells_[cell].inputs.size())
+        panic("rewireCellInput: cell %zu has no input %zu", cell,
+              input);
+    if (net != kNoNet && net >= nextNet_)
+        panic("rewireCellInput: bad net %u", net);
+    cells_[cell].inputs[input] = net;
+}
+
+void
+Netlist::rewireCellOutput(size_t cell, NetId net)
+{
+    checkElaborated(false);
+    if (cell >= cells_.size())
+        panic("rewireCellOutput: bad cell %zu", cell);
+    if (net >= nextNet_)
+        panic("rewireCellOutput: bad net %u", net);
+    cells_[cell].output = net;
+}
+
+std::string
+Netlist::netName(NetId net) const
+{
+    if (net == kNoNet)
+        return "<unconnected>";
+    if (net == zero_)
+        return "const0";
+    if (net == one_)
+        return "const1";
+    for (const auto &[name, n] : inputs_)
+        if (n == net)
+            return name;
+    for (const auto &[name, n] : outputs_)
+        if (n == net)
+            return name;
+    return strfmt("n%u", net);
+}
+
+std::vector<NetId>
+Netlist::undrivenNets() const
+{
+    std::vector<bool> driven(nextNet_, false);
+    driven[zero_] = driven[one_] = true;
+    for (const auto &[name, net] : inputs_)
+        driven[net] = true;
+    for (const auto &cell : cells_)
+        if (cell.output != kNoNet && cell.output < nextNet_)
+            driven[cell.output] = true;
+
+    std::vector<bool> seen(nextNet_, false);
+    std::vector<NetId> undriven;
+    auto note = [&](NetId in) {
+        if (in == kNoNet || in >= nextNet_)
+            return;
+        if (!driven[in] && !seen[in]) {
+            seen[in] = true;
+            undriven.push_back(in);
+        }
+    };
+    for (const auto &cell : cells_) {
+        // inputs[1] of a DFF is the implicit clock slot.
+        size_t nin = isSequential(cell.type) ? 1 : cell.inputs.size();
+        for (size_t k = 0; k < nin; ++k)
+            note(cell.inputs[k]);
+    }
+    for (const auto &[name, net] : outputs_)
+        note(net);
+    return undriven;
+}
+
+std::vector<size_t>
+Netlist::findCombCycle() const
+{
+    // Producer cell for each net; DFF Q outputs are cycle breakers
+    // (state, not combinational flow), so only comb cells count.
+    std::vector<int64_t> producer(nextNet_, -1);
+    for (size_t i = 0; i < cells_.size(); ++i)
+        if (!isSequential(cells_[i].type) &&
+            cells_[i].output != kNoNet && cells_[i].output < nextNet_)
+            producer[cells_[i].output] = static_cast<int64_t>(i);
+
+    // Iterative DFS over consumer -> producer edges.
+    // color: 0 = unvisited, 1 = on stack, 2 = done.
+    std::vector<uint8_t> color(cells_.size(), 0);
+    for (size_t root = 0; root < cells_.size(); ++root) {
+        if (color[root] || isSequential(cells_[root].type))
+            continue;
+        std::vector<std::pair<size_t, size_t>> frames;
+        std::vector<size_t> path;
+        frames.emplace_back(root, 0);
+        color[root] = 1;
+        path.push_back(root);
+        while (!frames.empty()) {
+            auto &[c, k] = frames.back();
+            if (k < cells_[c].inputs.size()) {
+                NetId in = cells_[c].inputs[k++];
+                if (in == kNoNet || in >= nextNet_ ||
+                    producer[in] < 0)
+                    continue;
+                auto p = static_cast<size_t>(producer[in]);
+                if (color[p] == 1) {
+                    // Back edge: the cycle is path[p..end], found in
+                    // consumer->producer order; reverse it so each
+                    // cell's output feeds the next one in the list.
+                    auto it = std::find(path.begin(), path.end(), p);
+                    std::vector<size_t> cycle(it, path.end());
+                    std::reverse(cycle.begin(), cycle.end());
+                    return cycle;
+                }
+                if (color[p] == 0) {
+                    color[p] = 1;
+                    frames.emplace_back(p, 0);
+                    path.push_back(p);
+                }
+            } else {
+                color[c] = 2;
+                frames.pop_back();
+                path.pop_back();
+            }
+        }
+    }
+    return {};
+}
+
+void
 Netlist::elaborate()
 {
     checkElaborated(false);
@@ -142,9 +271,41 @@ Netlist::elaborate()
     for (const auto &cell : cells_)
         if (!isSequential(cell.type))
             ++comb;
-    if (evalOrder_.size() != comb)
+    if (evalOrder_.size() != comb) {
+        // Name the culprits instead of just counting un-levelized
+        // cells: either some nets are driven by nothing (so their
+        // consumers never become ready) or there is a real
+        // combinational cycle — report the actual path.
+        auto cellDesc = [&](size_t i) {
+            return strfmt("%s #%zu @%s (%s)",
+                          cellInfo(cells_[i].type).name, i,
+                          cells_[i].module.c_str(),
+                          netName(cells_[i].output).c_str());
+        };
+        std::vector<NetId> undriven = undrivenNets();
+        if (!undriven.empty()) {
+            std::string list;
+            for (size_t k = 0; k < undriven.size() && k < 8; ++k)
+                list += (k ? ", " : "") + netName(undriven[k]);
+            if (undriven.size() > 8)
+                list += ", ...";
+            panic("netlist '%s': %zu net(s) consumed but never "
+                  "driven: %s", name_.c_str(), undriven.size(),
+                  list.c_str());
+        }
+        std::vector<size_t> cycle = findCombCycle();
+        if (!cycle.empty()) {
+            std::string path;
+            for (size_t i : cycle)
+                path += cellDesc(i) + " -> ";
+            path += cellDesc(cycle.front());
+            panic("netlist '%s' has a combinational loop: %s",
+                  name_.c_str(), path.c_str());
+        }
         panic("netlist '%s' has a combinational loop (%zu of %zu "
-              "cells ordered)", name_.c_str(), evalOrder_.size(), comb);
+              "cells ordered)", name_.c_str(), evalOrder_.size(),
+              comb);
+    }
 
     // Check DFF D inputs are wired.
     for (size_t idx : dffCells_)

@@ -90,6 +90,17 @@ class Netlist
                  bool x2 = false);
     /** Re-wire a DFF's D input (for feedback loops built late). */
     void setDffInput(NetId q, NetId d);
+
+    /**
+     * Netlist surgery: repoint one input (or the output) of an
+     * existing cell at an arbitrary net. Used by rewiring studies and
+     * by lint fixtures to produce electrically broken netlists that
+     * the normal construction API refuses to build (combinational
+     * loops, multiply-driven nets). No invariant checking beyond
+     * range checks — run the lint pass afterwards.
+     */
+    void rewireCellInput(size_t cell, size_t input, NetId net);
+    void rewireCellOutput(size_t cell, NetId net);
     ///@}
 
     /** @name Simulation */
@@ -123,6 +134,36 @@ class Netlist
     ///@{
     size_t numCells() const { return cells_.size(); }
     size_t numNets() const { return nextNet_; }
+
+    /** Named primary inputs / outputs (name -> net). */
+    const std::map<std::string, NetId> &primaryInputs() const
+    {
+        return inputs_;
+    }
+    const std::map<std::string, NetId> &primaryOutputs() const
+    {
+        return outputs_;
+    }
+
+    /**
+     * Nets consumed by combinational cells but driven by nothing
+     * (no cell output, primary input, or constant).
+     */
+    std::vector<NetId> undrivenNets() const;
+
+    /**
+     * One combinational cycle, as the cell indices along the cycle
+     * (each cell's output feeds the next cell; the last feeds the
+     * first). Empty when the combinational logic is acyclic. Shared
+     * by elaborate()'s failure diagnostics and the lint pass.
+     */
+    std::vector<size_t> findCombCycle() const;
+
+    /**
+     * Human-readable name for a net: a primary input/output name,
+     * "const0"/"const1", or "n<id>".
+     */
+    std::string netName(NetId net) const;
     unsigned totalDevices() const;
     double totalNand2Area() const;
     double totalStaticCurrentUa() const;

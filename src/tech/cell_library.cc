@@ -15,20 +15,20 @@ namespace
 // conduct on average; areas are calibrated so that the structural
 // FlexiCore4 netlist lands near the paper's 801 NAND2 equivalents.
 const std::array<CellInfo, kNumCellTypes> lib = {{
-    // type               name      in dev  area  uA    delay
-    {CellType::INV_X1,   "INV_X1",  1,  2,  0.75, 1.6,  1.0},
-    {CellType::INV_X2,   "INV_X2",  1,  3,  1.00, 2.4,  0.8},
-    {CellType::BUF_X1,   "BUF_X1",  1,  4,  1.25, 3.2,  1.6},
-    {CellType::BUF_X2,   "BUF_X2",  1,  5,  1.50, 4.0,  1.3},
-    {CellType::NAND2,    "NAND2",   2,  3,  1.00, 1.6,  1.2},
-    {CellType::NAND3,    "NAND3",   3,  4,  1.40, 1.6,  1.5},
-    {CellType::NOR2,     "NOR2",    2,  3,  1.00, 1.6,  1.2},
-    {CellType::NOR3,     "NOR3",    3,  4,  1.40, 1.6,  1.5},
-    {CellType::XOR2,     "XOR2",    2,  9,  2.50, 4.8,  2.4},
-    {CellType::XNOR2,    "XNOR2",   2,  9,  2.50, 4.8,  2.4},
-    {CellType::MUX2,     "MUX2",    3,  7,  2.00, 3.2,  1.8},
-    {CellType::DFF_X1,   "DFF_X1",  2, 24,  7.00, 13.0, 2.8},
-    {CellType::DFF_X2,   "DFF_X2",  2, 26,  7.50, 14.5, 2.4},
+    // type               name      in dev  area  uA    delay fan
+    {CellType::INV_X1,   "INV_X1",  1,  2,  0.75, 1.6,  1.0,  24},
+    {CellType::INV_X2,   "INV_X2",  1,  3,  1.00, 2.4,  0.8,  32},
+    {CellType::BUF_X1,   "BUF_X1",  1,  4,  1.25, 3.2,  1.6,  16},
+    {CellType::BUF_X2,   "BUF_X2",  1,  5,  1.50, 4.0,  1.3,  32},
+    {CellType::NAND2,    "NAND2",   2,  3,  1.00, 1.6,  1.2,   8},
+    {CellType::NAND3,    "NAND3",   3,  4,  1.40, 1.6,  1.5,   8},
+    {CellType::NOR2,     "NOR2",    2,  3,  1.00, 1.6,  1.2,   8},
+    {CellType::NOR3,     "NOR3",    3,  4,  1.40, 1.6,  1.5,   8},
+    {CellType::XOR2,     "XOR2",    2,  9,  2.50, 4.8,  2.4,   8},
+    {CellType::XNOR2,    "XNOR2",   2,  9,  2.50, 4.8,  2.4,   8},
+    {CellType::MUX2,     "MUX2",    3,  7,  2.00, 3.2,  1.8,  12},
+    {CellType::DFF_X1,   "DFF_X1",  2, 24,  7.00, 13.0, 2.8,  24},
+    {CellType::DFF_X2,   "DFF_X2",  2, 26,  7.50, 14.5, 2.4,  32},
 }};
 
 } // namespace

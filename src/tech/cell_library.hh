@@ -64,7 +64,20 @@ struct CellInfo
     double staticCurrentUa;
     /** Delay in units of the technology's unit gate delay. */
     double delayUnits;
+    /**
+     * Maximum fanout the cell's resistive pull-up can drive before
+     * the output low level degrades past the noise margin. Limits are
+     * calibrated ~1.5-2x above the worst fanout the shipped FlexiCore
+     * netlists actually present, per drive strength (X2 > X1).
+     */
+    unsigned maxFanout;
 };
+
+/**
+ * Fanout limit for nets driven by primary-input pads (the external
+ * pattern instrument drives them far harder than any library cell).
+ */
+constexpr unsigned kPadMaxFanout = 32;
 
 /** Look up the attribute record for a cell type. */
 const CellInfo &cellInfo(CellType type);

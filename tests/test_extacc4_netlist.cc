@@ -8,6 +8,7 @@
 
 #include <gtest/gtest.h>
 
+#include "analysis/netlist_lint.hh"
 #include "assembler/assembler.hh"
 #include "common/rng.hh"
 #include "dse/area_model.hh"
@@ -20,6 +21,13 @@ namespace flexi
 {
 namespace
 {
+
+TEST(ExtNetlist, LintsClean)
+{
+    auto nl = buildExtAcc4Netlist();
+    LintReport rep = lintNetlist(*nl);
+    EXPECT_TRUE(rep.clean()) << rep.text(nl->name());
+}
 
 TEST(ExtNetlist, BuildsWithWideBusInterface)
 {

@@ -7,6 +7,7 @@
 
 #include <gtest/gtest.h>
 
+#include "analysis/netlist_lint.hh"
 #include "assembler/assembler.hh"
 #include "common/rng.hh"
 #include "kernels/golden.hh"
@@ -18,6 +19,13 @@ namespace flexi
 {
 namespace
 {
+
+TEST(LsNetlist, LintsClean)
+{
+    auto nl = buildLoadStore4Netlist();
+    LintReport rep = lintNetlist(*nl);
+    EXPECT_TRUE(rep.clean()) << rep.text(nl->name());
+}
 
 TEST(LsNetlist, BuildsWithWordInterface)
 {

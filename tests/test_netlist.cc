@@ -8,6 +8,7 @@
 
 #include <gtest/gtest.h>
 
+#include "analysis/netlist_lint.hh"
 #include "assembler/assembler.hh"
 #include "common/logging.hh"
 #include "common/rng.hh"
@@ -337,6 +338,20 @@ TEST(FlexiCore8Netlist, MoreDevicesThanFc4)
     double ratio = static_cast<double>(fc8->totalDevices()) /
                    fc4->totalDevices();
     EXPECT_LT(ratio, 1.35);
+}
+
+TEST(FlexiCore4Netlist, LintsClean)
+{
+    auto nl = buildFlexiCore4Netlist();
+    LintReport rep = lintNetlist(*nl);
+    EXPECT_TRUE(rep.clean()) << rep.text(nl->name());
+}
+
+TEST(FlexiCore8Netlist, LintsClean)
+{
+    auto nl = buildFlexiCore8Netlist();
+    LintReport rep = lintNetlist(*nl);
+    EXPECT_TRUE(rep.clean()) << rep.text(nl->name());
 }
 
 // ---------------------------------------------------------------

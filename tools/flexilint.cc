@@ -1,0 +1,224 @@
+/**
+ * @file
+ * flexilint: static analysis over the shipped netlists and over
+ * assembled programs, for CI and for bring-up of new kernels.
+ *
+ * Usage:
+ *   flexilint [options] [--netlist fc4|fc8|ext|ls]...
+ *             [--program <isa> <file.s>]... [--kernels]
+ *
+ * With no subjects, lints everything built in: all four netlists
+ * plus every benchmark kernel on every ISA that supports it.
+ *
+ * Options:
+ *   --json     machine-readable output (one JSON array)
+ *   --werror   treat warnings as errors for the exit code
+ *
+ * Exit code: 0 clean, 1 findings at error severity, 2 usage error.
+ */
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "analysis/netlist_lint.hh"
+#include "analysis/program_lint.hh"
+#include "assembler/assembler.hh"
+#include "common/logging.hh"
+#include "kernels/fc8_programs.hh"
+#include "kernels/kernels.hh"
+#include "netlist/flexicore_netlist.hh"
+
+using namespace flexi;
+
+namespace
+{
+
+struct IsaAlias
+{
+    const char *name;
+    IsaKind isa;
+};
+
+constexpr IsaAlias kIsaAliases[] = {
+    {"fc4", IsaKind::FlexiCore4},
+    {"fc8", IsaKind::FlexiCore8},
+    {"ext", IsaKind::ExtAcc4},
+    {"ls", IsaKind::LoadStore4},
+};
+
+bool
+parseIsa(const char *name, IsaKind &out)
+{
+    for (const auto &a : kIsaAliases) {
+        if (std::strcmp(name, a.name) == 0) {
+            out = a.isa;
+            return true;
+        }
+    }
+    return false;
+}
+
+std::unique_ptr<Netlist>
+buildNetlist(IsaKind isa)
+{
+    switch (isa) {
+      case IsaKind::FlexiCore4: return buildFlexiCore4Netlist();
+      case IsaKind::FlexiCore8: return buildFlexiCore8Netlist();
+      case IsaKind::ExtAcc4: return buildExtAcc4Netlist();
+      case IsaKind::LoadStore4: return buildLoadStore4Netlist();
+    }
+    fatal("bad IsaKind");
+}
+
+int
+usage()
+{
+    std::fprintf(stderr,
+        "usage: flexilint [--json] [--werror]\n"
+        "                 [--netlist fc4|fc8|ext|ls]...\n"
+        "                 [--program fc4|fc8|ext|ls <file.s>]...\n"
+        "                 [--kernels]\n"
+        "with no subjects, lints all netlists and all kernels\n");
+    return 2;
+}
+
+/** One linted subject: its name and its report. */
+struct Result
+{
+    std::string subject;
+    LintReport report;
+};
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    bool json = false;
+    bool werror = false;
+    bool kernels = false;
+    std::vector<IsaKind> netlists;
+    std::vector<std::pair<IsaKind, std::string>> programs;
+
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        if (arg == "--json") {
+            json = true;
+        } else if (arg == "--werror") {
+            werror = true;
+        } else if (arg == "--kernels") {
+            kernels = true;
+        } else if (arg == "--netlist") {
+            IsaKind isa;
+            if (++i >= argc || !parseIsa(argv[i], isa))
+                return usage();
+            netlists.push_back(isa);
+        } else if (arg == "--program") {
+            IsaKind isa;
+            if (i + 2 >= argc || !parseIsa(argv[i + 1], isa))
+                return usage();
+            programs.emplace_back(isa, argv[i + 2]);
+            i += 2;
+        } else {
+            return usage();
+        }
+    }
+
+    // Default: everything built in.
+    if (netlists.empty() && programs.empty() && !kernels) {
+        for (const auto &a : kIsaAliases)
+            netlists.push_back(a.isa);
+        kernels = true;
+    }
+
+    std::vector<Result> results;
+
+    try {
+        for (IsaKind isa : netlists) {
+            auto nl = buildNetlist(isa);
+            results.push_back({nl->name(), lintNetlist(*nl)});
+        }
+        if (kernels) {
+            for (KernelId id : allKernels()) {
+                for (IsaKind isa : {IsaKind::FlexiCore4,
+                                    IsaKind::ExtAcc4,
+                                    IsaKind::LoadStore4}) {
+                    Program prog =
+                        assemble(isa, kernelSource(id, isa));
+                    results.push_back(
+                        {strfmt("%s/%s", kernelName(id),
+                                isaName(isa)),
+                         lintProgram(prog)});
+                }
+            }
+            for (size_t i = 0; i < kNumFc8Programs; ++i) {
+                auto id = static_cast<Fc8Program>(i);
+                Program prog = assemble(IsaKind::FlexiCore8,
+                                        fc8ProgramSource(id));
+                results.push_back(
+                    {strfmt("%s/%s", fc8ProgramName(id),
+                            isaName(IsaKind::FlexiCore8)),
+                     lintProgram(prog)});
+            }
+        }
+        for (const auto &[isa, path] : programs) {
+            std::ifstream in(path);
+            if (!in) {
+                std::fprintf(stderr, "flexilint: cannot open %s\n",
+                             path.c_str());
+                return 2;
+            }
+            std::ostringstream src;
+            src << in.rdbuf();
+            Program prog = assemble(isa, src.str());
+            results.push_back({path, lintProgram(prog)});
+        }
+    } catch (const FatalError &err) {
+        std::fprintf(stderr, "flexilint: %s\n", err.what());
+        return 2;
+    }
+
+    size_t num_errors = 0, num_warnings = 0;
+    if (json)
+        std::printf("[");
+    bool first = true;
+    for (const auto &res : results) {
+        num_errors += res.report.errors();
+        num_warnings += res.report.warnings();
+        if (json) {
+            // Flatten all subjects into one array: re-emit each
+            // report's array contents without its brackets.
+            std::string body = res.report.json(res.subject);
+            size_t open = body.find('[');
+            size_t close = body.rfind(']');
+            std::string inner =
+                body.substr(open + 1, close - open - 1);
+            // Trim trailing whitespace/newlines.
+            while (!inner.empty() &&
+                   (inner.back() == '\n' || inner.back() == ' '))
+                inner.pop_back();
+            if (inner.empty())
+                continue;
+            if (!first)
+                std::printf(",");
+            std::printf("%s", inner.c_str());
+            first = false;
+        } else {
+            std::fputs(res.report.text(res.subject).c_str(), stdout);
+        }
+    }
+    if (json) {
+        std::printf("\n]\n");
+    } else {
+        std::printf("flexilint: %zu subject(s), %zu error(s), "
+                    "%zu warning(s)\n",
+                    results.size(), num_errors, num_warnings);
+    }
+
+    bool fail = num_errors > 0 || (werror && num_warnings > 0);
+    return fail ? 1 : 0;
+}

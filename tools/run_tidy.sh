@@ -1,0 +1,31 @@
+#!/bin/sh
+# Run clang-tidy over the first-party sources using the checks in
+# .clang-tidy. Degrades gracefully (exit 0 with a notice) when
+# clang-tidy is not installed, so the script is safe to call from
+# environments without LLVM; CI installs clang-tidy explicitly.
+#
+# Usage: tools/run_tidy.sh [build-dir]
+set -eu
+
+repo=$(cd "$(dirname "$0")/.." && pwd)
+build=${1:-"$repo/build-tidy"}
+
+if ! command -v clang-tidy > /dev/null 2>&1; then
+    echo "run_tidy.sh: clang-tidy not found; skipping (install LLVM" \
+         "to enable)"
+    exit 0
+fi
+
+cmake -B "$build" -S "$repo" \
+    -DCMAKE_EXPORT_COMPILE_COMMANDS=ON > /dev/null
+
+# First-party translation units only; generated and third-party code
+# is excluded by construction (everything lives under src/ + tools/).
+files=$(find "$repo/src" "$repo/tools" -name '*.cc' | sort)
+
+status=0
+for f in $files; do
+    clang-tidy -p "$build" --quiet "$f" || status=1
+done
+
+exit $status
