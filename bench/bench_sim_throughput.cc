@@ -2,8 +2,10 @@
  * @file
  * google-benchmark microbenchmarks of the simulation substrates
  * themselves: ISA-simulator instruction rate, gate-level netlist
- * cycle rate, assembler throughput, and wafer-study runtime. These
- * bound how large the Monte-Carlo experiments can be made.
+ * cycle rate, netlist clone rate, assembler throughput, and
+ * wafer-study runtime. These bound how large the Monte-Carlo
+ * experiments can be made; docs/PERF.md tracks the numbers and CI
+ * emits them as BENCH_sim_throughput.json every run.
  */
 
 #include <benchmark/benchmark.h>
@@ -47,12 +49,14 @@ BM_NetlistCycleRate(benchmark::State &state)
     auto nl = buildFlexiCore4Netlist();
     Program p = makeTestProgram(IsaKind::FlexiCore4, 1);
     const auto &image = p.page(0);
+    BusHandle pc = nl->outputBus("pc", 7);
+    BusHandle instr = nl->inputBus("instr", 8);
     nl->setBus("iport", 4, 0x5);
     for (auto _ : state) {
         for (int i = 0; i < 100; ++i) {
-            unsigned pc = nl->bus("pc", 7);
-            nl->setBus("instr", 8,
-                       pc < image.size() ? image[pc] : 0);
+            unsigned die_pc = nl->bus(pc);
+            nl->setBus(instr,
+                       die_pc < image.size() ? image[die_pc] : 0);
             nl->evaluate();
             nl->clockEdge();
             nl->evaluate();
@@ -61,6 +65,44 @@ BM_NetlistCycleRate(benchmark::State &state)
     state.SetItemsProcessed(state.iterations() * 100);
 }
 BENCHMARK(BM_NetlistCycleRate);
+
+/** The retained cell-by-cell interpreter, as the speedup yardstick
+ *  for the compiled evaluation plan. */
+void
+BM_NetlistCycleRateReference(benchmark::State &state)
+{
+    auto nl = buildFlexiCore4Netlist();
+    Program p = makeTestProgram(IsaKind::FlexiCore4, 1);
+    const auto &image = p.page(0);
+    BusHandle pc = nl->outputBus("pc", 7);
+    BusHandle instr = nl->inputBus("instr", 8);
+    nl->setBus("iport", 4, 0x5);
+    for (auto _ : state) {
+        for (int i = 0; i < 100; ++i) {
+            unsigned die_pc = nl->bus(pc);
+            nl->setBus(instr,
+                       die_pc < image.size() ? image[die_pc] : 0);
+            nl->evaluateReference();
+            nl->clockEdge();
+            nl->evaluateReference();
+        }
+    }
+    state.SetItemsProcessed(state.iterations() * 100);
+}
+BENCHMARK(BM_NetlistCycleRateReference);
+
+/** Cost of stamping out a per-die simulation instance. */
+void
+BM_NetlistClone(benchmark::State &state)
+{
+    auto nl = buildFlexiCore4Netlist();
+    for (auto _ : state) {
+        auto copy = nl->clone();
+        benchmark::DoNotOptimize(copy->numNets());
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_NetlistClone);
 
 void
 BM_AssembleCalculator(benchmark::State &state)
@@ -95,11 +137,30 @@ BM_WaferStudyStatistical(benchmark::State &state)
         WaferStudyConfig cfg;
         cfg.seed = 1;
         cfg.gateLevelErrors = false;
+        cfg.threads = 1;
         auto res = runWaferStudy(cfg);
         benchmark::DoNotOptimize(res.yield(4.5, true));
     }
 }
 BENCHMARK(BM_WaferStudyStatistical);
+
+/** Full gate-level fault simulation of every defective die; the
+ *  thread count sweeps from single-threaded to auto (0). */
+void
+BM_WaferStudyGateLevel(benchmark::State &state)
+{
+    for (auto _ : state) {
+        WaferStudyConfig cfg;
+        cfg.seed = 5;
+        cfg.gateLevelErrors = true;
+        cfg.testCycles = 600;
+        cfg.threads = static_cast<unsigned>(state.range(0));
+        auto res = runWaferStudy(cfg);
+        benchmark::DoNotOptimize(res.yield(4.5, true));
+    }
+}
+BENCHMARK(BM_WaferStudyGateLevel)->Arg(1)->Arg(0)
+    ->Unit(benchmark::kMillisecond);
 
 } // namespace
 } // namespace flexi

@@ -3,122 +3,31 @@
  * Design-space exploration: sweep every ISA feature combination and
  * microarchitecture, evaluate area / code size / energy on the
  * kernel suite, and print the Pareto-optimal designs — the
- * Section 6 methodology as a reusable tool.
+ * Section 6 methodology as a reusable tool. The sweep itself lives
+ * in src/dse/sweep.cc and fans out over a thread pool (results are
+ * identical for any thread count).
  *
- *   $ ./dse_explorer [work_units]
+ *   $ ./dse_explorer [work_units] [threads]
  */
 
 #include <cstdio>
 #include <cstdlib>
-#include <vector>
 
-#include "dse/area_model.hh"
-#include "dse/code_size.hh"
-#include "dse/perf_model.hh"
+#include "dse/sweep.hh"
 
 using namespace flexi;
-
-namespace
-{
-
-struct Candidate
-{
-    DesignPoint point;
-    double area = 0.0;
-    double codeRel = 0.0;
-    double energyRel = 0.0;
-
-    bool
-    dominates(const Candidate &other) const
-    {
-        bool no_worse = area <= other.area &&
-                        codeRel <= other.codeRel &&
-                        energyRel <= other.energyRel;
-        bool better = area < other.area || codeRel < other.codeRel ||
-                      energyRel < other.energyRel;
-        return no_worse && better;
-    }
-};
-
-} // namespace
 
 int
 main(int argc, char **argv)
 {
-    size_t work = argc > 1 ? std::strtoul(argv[1], nullptr, 10) : 12;
+    SweepConfig cfg;
+    if (argc > 1)
+        cfg.workUnits = std::strtoul(argv[1], nullptr, 10);
+    if (argc > 2)
+        cfg.threads =
+            static_cast<unsigned>(std::strtoul(argv[2], nullptr, 10));
 
-    // Suite-average baseline energy.
-    double base_energy = 0.0;
-    for (KernelId id : allKernels())
-        base_energy += evalFlexiCore4Baseline(id, work, 3).energyJ;
-    double base_area = baseCoreArea();
-
-    // Enumerate: feature subsets (the paper's candidates) x operand
-    // model x microarchitecture, wide bus.
-    std::vector<IsaFeatures> feature_sets;
-    feature_sets.push_back(IsaFeatures::none());
-    {
-        IsaFeatures f;
-        f.coalescing = true;
-        f.branchFlags = true;
-        feature_sets.push_back(f);
-    }
-    {
-        IsaFeatures f;
-        f.coalescing = true;
-        f.barrelShifter = true;
-        f.branchFlags = true;
-        feature_sets.push_back(f);
-    }
-    feature_sets.push_back(IsaFeatures::revised());
-    {
-        IsaFeatures f = IsaFeatures::revised();
-        f.multiplier = true;
-        feature_sets.push_back(f);
-    }
-
-    std::vector<Candidate> all;
-    for (const IsaFeatures &f : feature_sets) {
-        for (OperandModel om :
-             {OperandModel::Accumulator, OperandModel::LoadStore}) {
-            for (MicroArch ua : {MicroArch::SingleCycle,
-                                 MicroArch::Pipelined2,
-                                 MicroArch::MultiCycle}) {
-                Candidate c;
-                c.point = {om, ua, BusWidth::Wide, f};
-                if (!c.point.feasible())
-                    continue;
-                c.area = areaOf(c.point).total() / base_area;
-                // Code size: measured for the revised sets, idiom
-                // estimate otherwise; the load-store ISA is only
-                // implemented with the full revised set.
-                if (om == OperandModel::LoadStore &&
-                    !(f == IsaFeatures::revised()))
-                    continue;
-                c.codeRel = relativeSuiteCodeSize(f);
-                double e = 0.0;
-                if (f == IsaFeatures::none() &&
-                    om == OperandModel::Accumulator &&
-                    ua == MicroArch::SingleCycle) {
-                    e = base_energy;
-                } else if (f == IsaFeatures::revised()) {
-                    for (KernelId id : allKernels())
-                        e += evalDsePoint(id, c.point, work, 3)
-                                 .energyJ;
-                } else {
-                    // Feature subsets short of the revised set run
-                    // the base binaries (no custom codegen): energy
-                    // scales with area at unchanged cycle counts.
-                    e = base_energy * c.area *
-                        fmaxOf(DesignPoint{om, ua, BusWidth::Wide,
-                                           IsaFeatures::none()}) /
-                        fmaxOf(c.point);
-                }
-                c.energyRel = e / base_energy;
-                all.push_back(c);
-            }
-        }
-    }
+    auto all = sweepDesignSpace(cfg);
 
     std::printf("%zu feasible design points (area / code / energy "
                 "relative to FlexiCore4)\n\n", all.size());
@@ -126,15 +35,11 @@ main(int argc, char **argv)
                 "Area", "Code", "Energy", "Pareto");
     int pareto = 0;
     for (const auto &c : all) {
-        bool dominated = false;
-        for (const auto &other : all)
-            if (other.dominates(c))
-                dominated = true;
-        pareto += !dominated;
+        pareto += c.pareto;
         std::printf("%-8s %-22s %6.2f %6.2f %7.2f %s\n",
                     c.point.name().c_str(),
                     c.point.features.tag().c_str(), c.area, c.codeRel,
-                    c.energyRel, dominated ? "" : "  *");
+                    c.energyRel, c.pareto ? "  *" : "");
     }
     std::printf("\n%d Pareto-optimal points (*). The paper's pick: "
                 "pipelined load-store with an\nintegrated program "

@@ -7,6 +7,23 @@
 namespace flexi
 {
 
+uint64_t
+deriveSeed(uint64_t seed, uint64_t stream)
+{
+    // Two rounds of the splitmix64 finalizer, folding the stream
+    // index in with a golden-ratio stride between rounds. Any
+    // (seed, stream) pair maps to a well-mixed nonzero-ish state;
+    // the Rng constructor guards the residual zero case.
+    uint64_t z = seed + 0x9E3779B97F4A7C15ull * (stream + 1);
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+    z ^= z >> 31;
+    z += 0x9E3779B97F4A7C15ull;
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+    return z ^ (z >> 31);
+}
+
 Rng::Rng(uint64_t seed)
     : state_(seed ? seed : 0x9E3779B97F4A7C15ull)
 {

@@ -17,6 +17,16 @@
 namespace flexi
 {
 
+/**
+ * Derive the seed of an independent RNG stream from a base seed and
+ * a stream index (splitmix64 finalization over both words). Used to
+ * give every Monte-Carlo unit of work — a die site, a design point —
+ * its own statistically independent stream, so results do not depend
+ * on the order (or thread) in which units are processed, and
+ * adding/removing one unit never perturbs another's draws.
+ */
+uint64_t deriveSeed(uint64_t seed, uint64_t stream);
+
 /** Deterministic xorshift64* PRNG with convenience distributions. */
 class Rng
 {

@@ -1,0 +1,169 @@
+#include "thread_pool.hh"
+
+#include <algorithm>
+#include <cstdlib>
+
+namespace flexi
+{
+
+namespace
+{
+
+/** Serializes submissions to the shared global pool; a submission
+ *  that finds the pool busy (nested parallelFor) runs inline. */
+std::atomic<bool> globalBusy{false};
+
+} // namespace
+
+ThreadPool::ThreadPool(unsigned threads)
+    : threads_(threads ? threads : defaultThreads())
+{
+    // Worker 0 is the calling thread inside parallelFor(), so spawn
+    // one fewer OS thread than the logical width.
+    for (unsigned i = 1; i < threads_; ++i)
+        workers_.emplace_back([this] { workerLoop(); });
+}
+
+ThreadPool::~ThreadPool()
+{
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        stop_ = true;
+    }
+    wake_.notify_all();
+    for (auto &w : workers_)
+        w.join();
+}
+
+unsigned
+ThreadPool::defaultThreads()
+{
+    if (const char *env = std::getenv("FLEXI_THREADS")) {
+        long v = std::strtol(env, nullptr, 10);
+        if (v >= 1)
+            return static_cast<unsigned>(v);
+    }
+    unsigned hw = std::thread::hardware_concurrency();
+    return hw ? hw : 1;
+}
+
+ThreadPool &
+ThreadPool::global()
+{
+    static ThreadPool pool;
+    return pool;
+}
+
+void
+ThreadPool::runJob(Job &job)
+{
+    for (;;) {
+        size_t base = job.next.fetch_add(job.chunk);
+        if (base >= job.n)
+            return;
+        size_t end = std::min(job.n, base + job.chunk);
+        for (size_t i = base; i < end; ++i) {
+            try {
+                (*job.fn)(i);
+            } catch (...) {
+                {
+                    std::lock_guard<std::mutex> lock(job.errorMu);
+                    if (!job.error)
+                        job.error = std::current_exception();
+                }
+                // Abandon the rest of the range.
+                job.next.store(job.n);
+                return;
+            }
+        }
+    }
+}
+
+void
+ThreadPool::workerLoop()
+{
+    uint64_t seen = 0;
+    for (;;) {
+        Job *job;
+        {
+            std::unique_lock<std::mutex> lock(mu_);
+            wake_.wait(lock, [&] {
+                return stop_ || (job_ && generation_ != seen);
+            });
+            if (stop_)
+                return;
+            seen = generation_;
+            job = job_;
+        }
+        runJob(*job);
+        if (job->pending.fetch_sub(1) == 1) {
+            std::lock_guard<std::mutex> lock(mu_);
+            done_.notify_all();
+        }
+    }
+}
+
+void
+ThreadPool::parallelFor(size_t n,
+                        const std::function<void(size_t)> &fn)
+{
+    if (n == 0)
+        return;
+    if (workers_.empty() || n == 1) {
+        for (size_t i = 0; i < n; ++i)
+            fn(i);
+        return;
+    }
+
+    Job job;
+    job.n = n;
+    job.fn = &fn;
+    // Contiguous chunks bound the atomic traffic on tiny work items
+    // while still load-balancing long tails.
+    job.chunk = std::max<size_t>(1, n / (4 * threads_));
+    job.pending.store(static_cast<unsigned>(workers_.size()));
+
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        job_ = &job;
+        ++generation_;
+    }
+    wake_.notify_all();
+
+    runJob(job);
+
+    {
+        std::unique_lock<std::mutex> lock(mu_);
+        done_.wait(lock, [&] { return job.pending.load() == 0; });
+        job_ = nullptr;
+    }
+    if (job.error)
+        std::rethrow_exception(job.error);
+}
+
+void
+parallelFor(size_t n, unsigned threads,
+            const std::function<void(size_t)> &fn)
+{
+    if (threads == 0)
+        threads = ThreadPool::defaultThreads();
+    bool inlineRun = threads <= 1 || n <= 1;
+    if (!inlineRun && globalBusy.exchange(true)) {
+        // The shared pool is already running a range (nested call):
+        // fall back to inline execution rather than deadlocking.
+        inlineRun = true;
+    } else if (!inlineRun) {
+        try {
+            ThreadPool::global().parallelFor(n, fn);
+        } catch (...) {
+            globalBusy.store(false);
+            throw;
+        }
+        globalBusy.store(false);
+        return;
+    }
+    for (size_t i = 0; i < n; ++i)
+        fn(i);
+}
+
+} // namespace flexi

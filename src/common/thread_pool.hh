@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Minimal persistent thread pool for the embarrassingly parallel
+ * Monte-Carlo layers (wafer studies over dies, DSE sweeps over
+ * design points).
+ *
+ * Design rules that keep every experiment reproducible:
+ *
+ *  - Work is an index range [0, n); each index writes only its own
+ *    output slot. Scheduling therefore never affects results — a
+ *    run with 1 thread and a run with 16 are bit-identical as long
+ *    as each index derives its own RNG stream (see deriveSeed()).
+ *  - parallelFor() blocks until the whole range is done and
+ *    rethrows the first worker exception on the calling thread.
+ *  - Thread count resolves as: explicit argument, else the
+ *    FLEXI_THREADS environment variable, else
+ *    std::thread::hardware_concurrency(). A count of 1 runs inline
+ *    on the calling thread with no synchronization at all.
+ */
+
+#ifndef FLEXI_COMMON_THREAD_POOL_HH
+#define FLEXI_COMMON_THREAD_POOL_HH
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace flexi
+{
+
+class ThreadPool
+{
+  public:
+    /** @param threads worker count; 0 = defaultThreads(). */
+    explicit ThreadPool(unsigned threads = 0);
+    ~ThreadPool();
+
+    ThreadPool(const ThreadPool &) = delete;
+    ThreadPool &operator=(const ThreadPool &) = delete;
+
+    /** Workers in the pool (>= 1; 1 means inline execution). */
+    unsigned numThreads() const { return threads_; }
+
+    /**
+     * Run fn(i) for every i in [0, n), striped across the pool in
+     * contiguous chunks; the calling thread participates. Blocks
+     * until the range completes; the first exception thrown by any
+     * index is rethrown here (remaining indices are abandoned).
+     */
+    void parallelFor(size_t n, const std::function<void(size_t)> &fn);
+
+    /**
+     * Thread count from the FLEXI_THREADS environment variable if
+     * set (clamped to >= 1), else hardware concurrency.
+     */
+    static unsigned defaultThreads();
+
+    /**
+     * Process-wide shared pool sized at defaultThreads(), created on
+     * first use. The convenience entry point for the simulation
+     * layers: parallelism without per-call thread creation.
+     */
+    static ThreadPool &global();
+
+  private:
+    struct Job
+    {
+        std::atomic<size_t> next{0};
+        size_t n = 0;
+        size_t chunk = 1;
+        const std::function<void(size_t)> *fn = nullptr;
+        std::atomic<unsigned> pending{0};
+        std::exception_ptr error;
+        std::mutex errorMu;
+    };
+
+    void workerLoop();
+    static void runJob(Job &job);
+
+    unsigned threads_ = 1;
+    std::vector<std::thread> workers_;
+    std::mutex mu_;
+    std::condition_variable wake_;
+    std::condition_variable done_;
+    Job *job_ = nullptr;
+    uint64_t generation_ = 0;
+    bool stop_ = false;
+};
+
+/**
+ * One-shot helper: run fn(i) for i in [0, n) on @p threads threads
+ * (0 = ThreadPool::defaultThreads(), 1 = inline). Uses the shared
+ * global pool; safe to call from one orchestration thread at a time
+ * (nested calls from worker threads run inline).
+ */
+void parallelFor(size_t n, unsigned threads,
+                 const std::function<void(size_t)> &fn);
+
+} // namespace flexi
+
+#endif // FLEXI_COMMON_THREAD_POOL_HH

@@ -1,0 +1,131 @@
+#include "sweep.hh"
+
+#include "common/thread_pool.hh"
+#include "dse/area_model.hh"
+#include "dse/code_size.hh"
+#include "dse/perf_model.hh"
+
+namespace flexi
+{
+
+bool
+SweepCandidate::dominates(const SweepCandidate &other) const
+{
+    bool no_worse = area <= other.area && codeRel <= other.codeRel &&
+                    energyRel <= other.energyRel;
+    bool better = area < other.area || codeRel < other.codeRel ||
+                  energyRel < other.energyRel;
+    return no_worse && better;
+}
+
+namespace
+{
+
+/** The paper's candidate feature subsets (Section 6.1). */
+std::vector<IsaFeatures>
+candidateFeatureSets()
+{
+    std::vector<IsaFeatures> sets;
+    sets.push_back(IsaFeatures::none());
+    {
+        IsaFeatures f;
+        f.coalescing = true;
+        f.branchFlags = true;
+        sets.push_back(f);
+    }
+    {
+        IsaFeatures f;
+        f.coalescing = true;
+        f.barrelShifter = true;
+        f.branchFlags = true;
+        sets.push_back(f);
+    }
+    sets.push_back(IsaFeatures::revised());
+    {
+        IsaFeatures f = IsaFeatures::revised();
+        f.multiplier = true;
+        sets.push_back(f);
+    }
+    return sets;
+}
+
+} // namespace
+
+std::vector<SweepCandidate>
+sweepDesignSpace(const SweepConfig &cfg)
+{
+    // Suite-average baseline energy (the normalization denominator);
+    // computed once up front, in parallel over kernels.
+    std::vector<double> base_by_kernel(kNumKernels, 0.0);
+    auto kernels = allKernels();
+    parallelFor(kernels.size(), cfg.threads, [&](size_t k) {
+        base_by_kernel[k] = evalFlexiCore4Baseline(
+            kernels[k], cfg.workUnits, cfg.seed).energyJ;
+    });
+    double base_energy = 0.0;
+    for (double e : base_by_kernel)
+        base_energy += e;
+    double base_area = baseCoreArea();
+
+    // Enumerate feasible points in a fixed order (the result order
+    // and the per-point work are both independent of threading).
+    std::vector<SweepCandidate> all;
+    for (const IsaFeatures &f : candidateFeatureSets()) {
+        for (OperandModel om :
+             {OperandModel::Accumulator, OperandModel::LoadStore}) {
+            for (MicroArch ua : {MicroArch::SingleCycle,
+                                 MicroArch::Pipelined2,
+                                 MicroArch::MultiCycle}) {
+                SweepCandidate c;
+                c.point = {om, ua, BusWidth::Wide, f};
+                if (!c.point.feasible())
+                    continue;
+                // The load-store ISA is only implemented with the
+                // full revised feature set.
+                if (om == OperandModel::LoadStore &&
+                    !(f == IsaFeatures::revised()))
+                    continue;
+                all.push_back(c);
+            }
+        }
+    }
+
+    parallelFor(all.size(), cfg.threads, [&](size_t i) {
+        SweepCandidate &c = all[i];
+        const IsaFeatures &f = c.point.features;
+        c.area = areaOf(c.point).total() / base_area;
+        // Code size: measured for the revised sets, idiom estimate
+        // otherwise.
+        c.codeRel = relativeSuiteCodeSize(f);
+        double e = 0.0;
+        if (f == IsaFeatures::none() &&
+            c.point.operands == OperandModel::Accumulator &&
+            c.point.uarch == MicroArch::SingleCycle) {
+            e = base_energy;
+        } else if (f == IsaFeatures::revised()) {
+            for (KernelId id : allKernels())
+                e += evalDsePoint(id, c.point, cfg.workUnits,
+                                  cfg.seed).energyJ;
+        } else {
+            // Feature subsets short of the revised set run the base
+            // binaries (no custom codegen): energy scales with area
+            // at unchanged cycle counts.
+            e = base_energy * c.area *
+                fmaxOf(DesignPoint{c.point.operands, c.point.uarch,
+                                   BusWidth::Wide,
+                                   IsaFeatures::none()}) /
+                fmaxOf(c.point);
+        }
+        c.energyRel = e / base_energy;
+    });
+
+    for (auto &c : all) {
+        c.pareto = true;
+        for (const auto &other : all)
+            if (other.dominates(c))
+                c.pareto = false;
+    }
+    return all;
+}
+
+} // namespace flexi

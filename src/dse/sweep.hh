@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Design-space sweep: enumerate the Section 6 candidate space
+ * (ISA feature subsets x operand model x microarchitecture), run
+ * the real kernel suite on every feasible point, and mark the
+ * Pareto frontier over (area, code size, energy).
+ *
+ * This is the library form of what examples/dse_explorer.cc used to
+ * do inline, with the evaluation fanned out over a thread pool.
+ * Every design point is evaluated independently from deterministic
+ * inputs, so the sweep is bit-identical for any thread count.
+ */
+
+#ifndef FLEXI_DSE_SWEEP_HH
+#define FLEXI_DSE_SWEEP_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "dse/design_point.hh"
+
+namespace flexi
+{
+
+/** One evaluated point of the design-space sweep. */
+struct SweepCandidate
+{
+    DesignPoint point;
+    /** Area / suite code size / suite energy vs FlexiCore4 (= 1). */
+    double area = 0.0;
+    double codeRel = 0.0;
+    double energyRel = 0.0;
+    /** On the Pareto frontier over (area, codeRel, energyRel)? */
+    bool pareto = false;
+
+    bool dominates(const SweepCandidate &other) const;
+};
+
+/** Configuration of one sweep. */
+struct SweepConfig
+{
+    /** Kernel work units per evaluation. */
+    size_t workUnits = 12;
+    /** Kernel input-generation seed. */
+    uint64_t seed = 3;
+    /** Worker threads: 0 = auto, 1 = single-threaded. Results are
+     *  bit-identical for any value. */
+    unsigned threads = 0;
+};
+
+/**
+ * Evaluate the paper's candidate feature sets across both operand
+ * models and all three microarchitectures (wide bus). Returns the
+ * feasible candidates in a deterministic enumeration order, with
+ * the Pareto frontier marked.
+ */
+std::vector<SweepCandidate> sweepDesignSpace(const SweepConfig &cfg);
+
+} // namespace flexi
+
+#endif // FLEXI_DSE_SWEEP_HH

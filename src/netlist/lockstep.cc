@@ -57,6 +57,13 @@ runLockstep(Netlist &netlist, IsaKind isa, const Program &prog,
         return pc < image.size() ? image[pc] : 0;
     };
 
+    // Resolve every pad bus once; the per-cycle loop below then
+    // never touches a name map or builds a string.
+    BusHandle pc_bus = netlist.outputBus("pc", 7);
+    BusHandle instr_bus = netlist.inputBus("instr", wide_bus ? 16 : 8);
+    BusHandle iport_bus = netlist.inputBus("iport", w);
+    BusHandle oport_bus = netlist.outputBus("oport", w);
+
     HeldInputEnv env;
     TimingConfig cfg;
     cfg.isa = isa;
@@ -79,15 +86,15 @@ runLockstep(Netlist &netlist, IsaKind isa, const Program &prog,
         // fetching from the netlist's own PC pads.
         unsigned cycles = wide_bus ? 1 : dec.bytes;
         for (unsigned c = 0; c < cycles; ++c) {
-            unsigned die_pc = netlist.bus("pc", 7);
+            unsigned die_pc = netlist.bus(pc_bus);
             if (wide_bus) {
                 unsigned base = word_pc ? die_pc * 2 : die_pc;
-                netlist.setBus("instr", 16,
+                netlist.setBus(instr_bus,
                                fetch(base) | (fetch(base + 1) << 8));
             } else {
-                netlist.setBus("instr", 8, fetch(die_pc));
+                netlist.setBus(instr_bus, fetch(die_pc));
             }
-            netlist.setBus("iport", w, env.held);
+            netlist.setBus(iport_bus, env.held);
             netlist.evaluate();
             netlist.clockEdge();
             netlist.evaluate();   // expose new state on the pads
@@ -97,9 +104,9 @@ runLockstep(Netlist &netlist, IsaKind isa, const Program &prog,
         golden.step();
         ++res.instructions;
 
-        if (netlist.bus("pc", 7) != golden.pc())
+        if (netlist.bus(pc_bus) != golden.pc())
             ++res.errors;
-        if (netlist.bus("oport", w) != golden.outputLatch())
+        if (netlist.bus(oport_bus) != golden.outputLatch())
             ++res.errors;
     }
 

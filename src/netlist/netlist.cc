@@ -8,24 +8,135 @@
 namespace flexi
 {
 
-Netlist::Netlist(std::string name)
-    : name_(std::move(name))
+namespace
 {
-    zero_ = newNet();
-    one_ = newNet();
+
+/** Cell semantics as an 8-bit truth table over (in0, in1, in2). */
+bool
+combValue(CellType type, bool a, bool b, bool c)
+{
+    switch (type) {
+      case CellType::INV_X1:
+      case CellType::INV_X2:
+        return !a;
+      case CellType::BUF_X1:
+      case CellType::BUF_X2:
+        return a;
+      case CellType::NAND2:
+        return !(a && b);
+      case CellType::NAND3:
+        return !(a && b && c);
+      case CellType::NOR2:
+        return !(a || b);
+      case CellType::NOR3:
+        return !(a || b || c);
+      case CellType::XOR2:
+        return a != b;
+      case CellType::XNOR2:
+        return a == b;
+      case CellType::MUX2:
+        // inputs: {a, b, sel} -> sel ? b : a
+        return c ? b : a;
+      default:
+        panic("combValue: unexpected cell type");
+    }
+}
+
+uint8_t
+lutFor(CellType type)
+{
+    uint8_t lut = 0;
+    for (unsigned idx = 0; idx < 8; ++idx) {
+        if (combValue(type, idx & 1, idx & 2, idx & 4))
+            lut |= static_cast<uint8_t>(1u << idx);
+    }
+    return lut;
+}
+
+} // namespace
+
+Netlist::Netlist(std::string name)
+    : s_(std::make_shared<Structure>())
+{
+    s_->name = std::move(name);
+    s_->zero = newNet();
+    s_->one = newNet();
+}
+
+Netlist::Netlist(const Netlist &other, bool)
+    : s_(other.s_), elaborated_(other.elaborated_),
+      netVal_(other.netVal_), dffState_(other.dffState_),
+      faults_(other.faults_), forceMask_(other.forceMask_),
+      forceVal_(other.forceVal_), toggles_(other.toggles_)
+{
+}
+
+std::unique_ptr<Netlist>
+Netlist::clone() const
+{
+    checkElaborated(true);
+    return std::unique_ptr<Netlist>(new Netlist(*this, true));
+}
+
+const std::string &
+Netlist::name() const
+{
+    return s_->name;
+}
+
+NetId
+Netlist::zero() const
+{
+    return s_->zero;
+}
+
+NetId
+Netlist::one() const
+{
+    return s_->one;
+}
+
+size_t
+Netlist::numCells() const
+{
+    return s_->cells.size();
+}
+
+size_t
+Netlist::numNets() const
+{
+    return s_->nextNet;
+}
+
+const std::map<std::string, NetId> &
+Netlist::primaryInputs() const
+{
+    return s_->inputs;
+}
+
+const std::map<std::string, NetId> &
+Netlist::primaryOutputs() const
+{
+    return s_->outputs;
+}
+
+const std::vector<CellInst> &
+Netlist::cells() const
+{
+    return s_->cells;
 }
 
 NetId
 Netlist::newNet()
 {
-    return nextNet_++;
+    return s_->nextNet++;
 }
 
 NetId
 Netlist::addInput(const std::string &name)
 {
     checkElaborated(false);
-    auto [it, inserted] = inputs_.emplace(name, kNoNet);
+    auto [it, inserted] = s_->inputs.emplace(name, kNoNet);
     if (!inserted)
         panic("duplicate input '%s'", name.c_str());
     it->second = newNet();
@@ -36,7 +147,7 @@ void
 Netlist::addOutput(const std::string &name, NetId net)
 {
     checkElaborated(false);
-    if (!outputs_.emplace(name, net).second)
+    if (!s_->outputs.emplace(name, net).second)
         panic("duplicate output '%s'", name.c_str());
 }
 
@@ -56,8 +167,8 @@ Netlist::addCell(CellType type, const std::vector<NetId> &inputs,
     cell.inputs = inputs;
     cell.output = newNet();
     cell.module = module;
-    cells_.push_back(std::move(cell));
-    return cells_.back().output;
+    s_->cells.push_back(std::move(cell));
+    return s_->cells.back().output;
 }
 
 NetId
@@ -69,20 +180,19 @@ Netlist::addDff(NetId d, const std::string &module, bool init, bool x2)
     cell.inputs = {d, kNoNet};   // D, (implicit clock slot)
     cell.output = newNet();
     cell.module = module;
-    cells_.push_back(std::move(cell));
-    dffCells_.push_back(cells_.size() - 1);
-    dffState_.push_back(init);
-    dffInit_.push_back(init);
-    return cells_.back().output;
+    s_->cells.push_back(std::move(cell));
+    s_->dffCells.push_back(s_->cells.size() - 1);
+    s_->dffInit.push_back(init);
+    return s_->cells.back().output;
 }
 
 void
 Netlist::setDffInput(NetId q, NetId d)
 {
     checkElaborated(false);
-    for (size_t idx : dffCells_) {
-        if (cells_[idx].output == q) {
-            cells_[idx].inputs[0] = d;
+    for (size_t idx : s_->dffCells) {
+        if (s_->cells[idx].output == q) {
+            s_->cells[idx].inputs[0] = d;
             return;
         }
     }
@@ -93,25 +203,25 @@ void
 Netlist::rewireCellInput(size_t cell, size_t input, NetId net)
 {
     checkElaborated(false);
-    if (cell >= cells_.size())
+    if (cell >= s_->cells.size())
         panic("rewireCellInput: bad cell %zu", cell);
-    if (input >= cells_[cell].inputs.size())
+    if (input >= s_->cells[cell].inputs.size())
         panic("rewireCellInput: cell %zu has no input %zu", cell,
               input);
-    if (net != kNoNet && net >= nextNet_)
+    if (net != kNoNet && net >= s_->nextNet)
         panic("rewireCellInput: bad net %u", net);
-    cells_[cell].inputs[input] = net;
+    s_->cells[cell].inputs[input] = net;
 }
 
 void
 Netlist::rewireCellOutput(size_t cell, NetId net)
 {
     checkElaborated(false);
-    if (cell >= cells_.size())
+    if (cell >= s_->cells.size())
         panic("rewireCellOutput: bad cell %zu", cell);
-    if (net >= nextNet_)
+    if (net >= s_->nextNet)
         panic("rewireCellOutput: bad net %u", net);
-    cells_[cell].output = net;
+    s_->cells[cell].output = net;
 }
 
 std::string
@@ -119,14 +229,14 @@ Netlist::netName(NetId net) const
 {
     if (net == kNoNet)
         return "<unconnected>";
-    if (net == zero_)
+    if (net == s_->zero)
         return "const0";
-    if (net == one_)
+    if (net == s_->one)
         return "const1";
-    for (const auto &[name, n] : inputs_)
+    for (const auto &[name, n] : s_->inputs)
         if (n == net)
             return name;
-    for (const auto &[name, n] : outputs_)
+    for (const auto &[name, n] : s_->outputs)
         if (n == net)
             return name;
     return strfmt("n%u", net);
@@ -135,31 +245,31 @@ Netlist::netName(NetId net) const
 std::vector<NetId>
 Netlist::undrivenNets() const
 {
-    std::vector<bool> driven(nextNet_, false);
-    driven[zero_] = driven[one_] = true;
-    for (const auto &[name, net] : inputs_)
+    std::vector<bool> driven(s_->nextNet, false);
+    driven[s_->zero] = driven[s_->one] = true;
+    for (const auto &[name, net] : s_->inputs)
         driven[net] = true;
-    for (const auto &cell : cells_)
-        if (cell.output != kNoNet && cell.output < nextNet_)
+    for (const auto &cell : s_->cells)
+        if (cell.output != kNoNet && cell.output < s_->nextNet)
             driven[cell.output] = true;
 
-    std::vector<bool> seen(nextNet_, false);
+    std::vector<bool> seen(s_->nextNet, false);
     std::vector<NetId> undriven;
     auto note = [&](NetId in) {
-        if (in == kNoNet || in >= nextNet_)
+        if (in == kNoNet || in >= s_->nextNet)
             return;
         if (!driven[in] && !seen[in]) {
             seen[in] = true;
             undriven.push_back(in);
         }
     };
-    for (const auto &cell : cells_) {
+    for (const auto &cell : s_->cells) {
         // inputs[1] of a DFF is the implicit clock slot.
         size_t nin = isSequential(cell.type) ? 1 : cell.inputs.size();
         for (size_t k = 0; k < nin; ++k)
             note(cell.inputs[k]);
     }
-    for (const auto &[name, net] : outputs_)
+    for (const auto &[name, net] : s_->outputs)
         note(net);
     return undriven;
 }
@@ -167,19 +277,20 @@ Netlist::undrivenNets() const
 std::vector<size_t>
 Netlist::findCombCycle() const
 {
+    const auto &cells = s_->cells;
     // Producer cell for each net; DFF Q outputs are cycle breakers
     // (state, not combinational flow), so only comb cells count.
-    std::vector<int64_t> producer(nextNet_, -1);
-    for (size_t i = 0; i < cells_.size(); ++i)
-        if (!isSequential(cells_[i].type) &&
-            cells_[i].output != kNoNet && cells_[i].output < nextNet_)
-            producer[cells_[i].output] = static_cast<int64_t>(i);
+    std::vector<int64_t> producer(s_->nextNet, -1);
+    for (size_t i = 0; i < cells.size(); ++i)
+        if (!isSequential(cells[i].type) &&
+            cells[i].output != kNoNet && cells[i].output < s_->nextNet)
+            producer[cells[i].output] = static_cast<int64_t>(i);
 
     // Iterative DFS over consumer -> producer edges.
     // color: 0 = unvisited, 1 = on stack, 2 = done.
-    std::vector<uint8_t> color(cells_.size(), 0);
-    for (size_t root = 0; root < cells_.size(); ++root) {
-        if (color[root] || isSequential(cells_[root].type))
+    std::vector<uint8_t> color(cells.size(), 0);
+    for (size_t root = 0; root < cells.size(); ++root) {
+        if (color[root] || isSequential(cells[root].type))
             continue;
         std::vector<std::pair<size_t, size_t>> frames;
         std::vector<size_t> path;
@@ -188,9 +299,9 @@ Netlist::findCombCycle() const
         path.push_back(root);
         while (!frames.empty()) {
             auto &[c, k] = frames.back();
-            if (k < cells_[c].inputs.size()) {
-                NetId in = cells_[c].inputs[k++];
-                if (in == kNoNet || in >= nextNet_ ||
+            if (k < cells[c].inputs.size()) {
+                NetId in = cells[c].inputs[k++];
+                if (in == kNoNet || in >= s_->nextNet ||
                     producer[in] < 0)
                     continue;
                 auto p = static_cast<size_t>(producer[in]);
@@ -219,30 +330,69 @@ Netlist::findCombCycle() const
 }
 
 void
+Netlist::compilePlan()
+{
+    EvalPlan &plan = s_->plan;
+    const auto &cells = s_->cells;
+    // Unused input slots point at the scratch net one past the last
+    // real net: always 0 and unreachable by injectFault, so a stuck
+    // fault on const0/const1 cannot leak into padded truth-table
+    // index bits.
+    const NetId scratch = s_->nextNet;
+
+    size_t n = s_->evalOrder.size();
+    plan.in.assign(3 * n, scratch);
+    plan.out.resize(n);
+    plan.lut.resize(n);
+    plan.cell.resize(n);
+    for (size_t i = 0; i < n; ++i) {
+        size_t idx = s_->evalOrder[i];
+        const CellInst &cell = cells[idx];
+        for (size_t k = 0; k < cell.inputs.size(); ++k)
+            plan.in[3 * i + k] = cell.inputs[k];
+        plan.out[i] = cell.output;
+        plan.lut[i] = lutFor(cell.type);
+        plan.cell[i] = static_cast<uint32_t>(idx);
+    }
+
+    size_t nd = s_->dffCells.size();
+    plan.dffD.resize(nd);
+    plan.dffQ.resize(nd);
+    plan.dffCell.resize(nd);
+    for (size_t i = 0; i < nd; ++i) {
+        size_t idx = s_->dffCells[i];
+        plan.dffD[i] = cells[idx].inputs[0];
+        plan.dffQ[i] = cells[idx].output;
+        plan.dffCell[i] = static_cast<uint32_t>(idx);
+    }
+}
+
+void
 Netlist::elaborate()
 {
     checkElaborated(false);
+    const auto &cells = s_->cells;
 
     // Topological sort of combinational cells: a cell is ready once
     // all of its input nets are known (inputs, constants, DFF Q
     // outputs, or outputs of already-ordered cells).
-    std::vector<bool> known(nextNet_, false);
-    known[zero_] = known[one_] = true;
-    for (const auto &[name, net] : inputs_)
+    std::vector<bool> known(s_->nextNet, false);
+    known[s_->zero] = known[s_->one] = true;
+    for (const auto &[name, net] : s_->inputs)
         known[net] = true;
-    for (size_t idx : dffCells_)
-        known[cells_[idx].output] = true;
+    for (size_t idx : s_->dffCells)
+        known[cells[idx].output] = true;
 
     // Map net -> consuming comb cells, and count unresolved inputs.
-    std::vector<std::vector<size_t>> consumers(nextNet_);
-    std::vector<unsigned> pendingIn(cells_.size(), 0);
+    std::vector<std::vector<size_t>> consumers(s_->nextNet);
+    std::vector<unsigned> pendingIn(cells.size(), 0);
     std::queue<size_t> ready;
 
-    for (size_t i = 0; i < cells_.size(); ++i) {
-        if (isSequential(cells_[i].type))
+    for (size_t i = 0; i < cells.size(); ++i) {
+        if (isSequential(cells[i].type))
             continue;
         unsigned pending = 0;
-        for (NetId in : cells_[i].inputs) {
+        for (NetId in : cells[i].inputs) {
             if (in == kNoNet)
                 panic("cell %zu has an unconnected input", i);
             if (!known[in]) {
@@ -255,12 +405,12 @@ Netlist::elaborate()
             ready.push(i);
     }
 
-    evalOrder_.clear();
+    s_->evalOrder.clear();
     while (!ready.empty()) {
         size_t i = ready.front();
         ready.pop();
-        evalOrder_.push_back(i);
-        NetId out = cells_[i].output;
+        s_->evalOrder.push_back(i);
+        NetId out = cells[i].output;
         known[out] = true;
         for (size_t c : consumers[out])
             if (--pendingIn[c] == 0)
@@ -268,19 +418,19 @@ Netlist::elaborate()
     }
 
     size_t comb = 0;
-    for (const auto &cell : cells_)
+    for (const auto &cell : cells)
         if (!isSequential(cell.type))
             ++comb;
-    if (evalOrder_.size() != comb) {
+    if (s_->evalOrder.size() != comb) {
         // Name the culprits instead of just counting un-levelized
         // cells: either some nets are driven by nothing (so their
         // consumers never become ready) or there is a real
         // combinational cycle — report the actual path.
         auto cellDesc = [&](size_t i) {
             return strfmt("%s #%zu @%s (%s)",
-                          cellInfo(cells_[i].type).name, i,
-                          cells_[i].module.c_str(),
-                          netName(cells_[i].output).c_str());
+                          cellInfo(cells[i].type).name, i,
+                          cells[i].module.c_str(),
+                          netName(cells[i].output).c_str());
         };
         std::vector<NetId> undriven = undrivenNets();
         if (!undriven.empty()) {
@@ -290,7 +440,7 @@ Netlist::elaborate()
             if (undriven.size() > 8)
                 list += ", ...";
             panic("netlist '%s': %zu net(s) consumed but never "
-                  "driven: %s", name_.c_str(), undriven.size(),
+                  "driven: %s", s_->name.c_str(), undriven.size(),
                   list.c_str());
         }
         std::vector<size_t> cycle = findCombCycle();
@@ -300,24 +450,29 @@ Netlist::elaborate()
                 path += cellDesc(i) + " -> ";
             path += cellDesc(cycle.front());
             panic("netlist '%s' has a combinational loop: %s",
-                  name_.c_str(), path.c_str());
+                  s_->name.c_str(), path.c_str());
         }
         panic("netlist '%s' has a combinational loop (%zu of %zu "
-              "cells ordered)", name_.c_str(), evalOrder_.size(),
-              comb);
+              "cells ordered)", s_->name.c_str(),
+              s_->evalOrder.size(), comb);
     }
 
     // Check DFF D inputs are wired.
-    for (size_t idx : dffCells_)
-        if (cells_[idx].inputs[0] == kNoNet)
+    for (size_t idx : s_->dffCells)
+        if (cells[idx].inputs[0] == kNoNet)
             panic("DFF (net %u) has an unconnected D input",
-                  cells_[idx].output);
+                  cells[idx].output);
 
-    netVal_.assign(nextNet_, false);
-    netVal_[one_] = true;
-    forced_.assign(nextNet_, false);
-    forcedVal_.assign(nextNet_, false);
-    toggles_.assign(cells_.size(), 0);
+    compilePlan();
+
+    // One extra trailing byte: the always-0 scratch net backing the
+    // padded input slots of the plan.
+    netVal_.assign(s_->nextNet + 1, 0);
+    netVal_[s_->one] = 1;
+    dffState_.assign(s_->dffCells.size(), 0);
+    forceMask_.assign(s_->nextNet, 0);
+    forceVal_.assign(s_->nextNet, 0);
+    toggles_.assign(cells.size(), 0);
     elaborated_ = true;
     reset();
 }
@@ -326,7 +481,7 @@ void
 Netlist::checkElaborated(bool want) const
 {
     if (elaborated_ != want)
-        panic("netlist '%s': %s", name_.c_str(),
+        panic("netlist '%s': %s", s_->name.c_str(),
               want ? "not elaborated yet" : "already elaborated");
 }
 
@@ -334,8 +489,8 @@ void
 Netlist::setInput(const std::string &name, bool value)
 {
     checkElaborated(true);
-    auto it = inputs_.find(name);
-    if (it == inputs_.end())
+    auto it = s_->inputs.find(name);
+    if (it == s_->inputs.end())
         panic("no input named '%s'", name.c_str());
     netVal_[it->second] = value;
 }
@@ -348,6 +503,55 @@ Netlist::setBus(const std::string &prefix, unsigned width,
         setInput(prefix + std::to_string(i), (value >> i) & 1u);
 }
 
+BusHandle
+Netlist::inputBus(const std::string &prefix, unsigned width) const
+{
+    BusHandle handle;
+    handle.input_ = true;
+    handle.nets_.reserve(width);
+    for (unsigned i = 0; i < width; ++i) {
+        auto it = s_->inputs.find(prefix + std::to_string(i));
+        if (it == s_->inputs.end())
+            panic("no input named '%s%u'", prefix.c_str(), i);
+        handle.nets_.push_back(it->second);
+    }
+    return handle;
+}
+
+BusHandle
+Netlist::outputBus(const std::string &prefix, unsigned width) const
+{
+    BusHandle handle;
+    handle.nets_.reserve(width);
+    for (unsigned i = 0; i < width; ++i) {
+        auto it = s_->outputs.find(prefix + std::to_string(i));
+        if (it == s_->outputs.end())
+            panic("no output named '%s%u'", prefix.c_str(), i);
+        handle.nets_.push_back(it->second);
+    }
+    return handle;
+}
+
+void
+Netlist::setBus(const BusHandle &bus, unsigned value)
+{
+    checkElaborated(true);
+    if (!bus.input_)
+        panic("setBus: handle does not name an input bus");
+    for (unsigned i = 0; i < bus.nets_.size(); ++i)
+        netVal_[bus.nets_[i]] = (value >> i) & 1u;
+}
+
+unsigned
+Netlist::bus(const BusHandle &bus) const
+{
+    checkElaborated(true);
+    unsigned v = 0;
+    for (unsigned i = 0; i < bus.nets_.size(); ++i)
+        v |= static_cast<unsigned>(netVal_[bus.nets_[i]]) << i;
+    return v;
+}
+
 void
 Netlist::evaluate()
 {
@@ -357,55 +561,67 @@ Netlist::evaluate()
     for (const auto &f : faults_)
         netVal_[f.net] = f.value;
 
-    // Expose DFF state on Q nets.
-    for (size_t i = 0; i < dffCells_.size(); ++i) {
-        NetId q = cells_[dffCells_[i]].output;
-        if (!forced_[q])
-            netVal_[q] = dffState_[i];
+    // Expose DFF state on Q nets (force-masked blend).
+    const EvalPlan &plan = s_->plan;
+    size_t nd = plan.dffQ.size();
+    for (size_t i = 0; i < nd; ++i) {
+        NetId q = plan.dffQ[i];
+        uint8_t m = forceMask_[q];
+        netVal_[q] = (dffState_[i] & ~m) | (forceVal_[q] & m);
     }
 
-    for (size_t idx : evalOrder_) {
-        const CellInst &cell = cells_[idx];
-        auto in = [&](size_t k) { return netVal_[cell.inputs[k]]; };
-        bool v = false;
-        switch (cell.type) {
-          case CellType::INV_X1:
-          case CellType::INV_X2:
-            v = !in(0);
-            break;
-          case CellType::BUF_X1:
-          case CellType::BUF_X2:
-            v = in(0);
-            break;
-          case CellType::NAND2:
-            v = !(in(0) && in(1));
-            break;
-          case CellType::NAND3:
-            v = !(in(0) && in(1) && in(2));
-            break;
-          case CellType::NOR2:
-            v = !(in(0) || in(1));
-            break;
-          case CellType::NOR3:
-            v = !(in(0) || in(1) || in(2));
-            break;
-          case CellType::XOR2:
-            v = in(0) != in(1);
-            break;
-          case CellType::XNOR2:
-            v = in(0) == in(1);
-            break;
-          case CellType::MUX2:
-            // inputs: {a, b, sel} -> sel ? b : a
-            v = in(2) ? in(1) : in(0);
-            break;
-          default:
-            panic("evaluate: unexpected cell type");
-        }
+    const NetId *in = plan.in.data();
+    const NetId *out = plan.out.data();
+    const uint8_t *lut = plan.lut.data();
+    const uint32_t *cell = plan.cell.data();
+    uint8_t *val = netVal_.data();
+    const uint8_t *mask = forceMask_.data();
+    const uint8_t *fval = forceVal_.data();
+    uint64_t *toggles = toggles_.data();
+
+    size_t n = plan.out.size();
+    for (size_t i = 0; i < n; ++i) {
+        unsigned idx = val[in[3 * i]] | (val[in[3 * i + 1]] << 1) |
+                       (val[in[3 * i + 2]] << 2);
+        uint8_t v = (lut[i] >> idx) & 1;
+        NetId o = out[i];
+        uint8_t m = mask[o];
+        v = static_cast<uint8_t>((v & ~m) | (fval[o] & m));
+        toggles[cell[i]] += val[o] ^ v;
+        val[o] = v;
+    }
+}
+
+void
+Netlist::evaluateReference()
+{
+    checkElaborated(true);
+
+    for (const auto &f : faults_)
+        netVal_[f.net] = f.value;
+
+    const auto &cells = s_->cells;
+    const auto &dffCells = s_->dffCells;
+    for (size_t i = 0; i < dffCells.size(); ++i) {
+        NetId q = cells[dffCells[i]].output;
+        if (!forceMask_[q])
+            netVal_[q] = dffState_[i];
+        else
+            netVal_[q] = forceVal_[q];
+    }
+
+    for (size_t idx : s_->evalOrder) {
+        const CellInst &cell = cells[idx];
+        auto in = [&](size_t k) {
+            return netVal_[cell.inputs[k]] != 0;
+        };
+        bool v = combValue(cell.type, in(0),
+                           cell.inputs.size() > 1 && in(1),
+                           cell.inputs.size() > 2 && in(2));
         NetId out = cell.output;
-        if (forced_[out])
-            v = forcedVal_[out];
-        if (netVal_[out] != v)
+        if (forceMask_[out])
+            v = forceVal_[out];
+        if ((netVal_[out] != 0) != v)
             ++toggles_[idx];
         netVal_[out] = v;
     }
@@ -415,14 +631,14 @@ void
 Netlist::clockEdge()
 {
     checkElaborated(true);
-    for (size_t i = 0; i < dffCells_.size(); ++i) {
-        size_t idx = dffCells_[i];
-        bool d = netVal_[cells_[idx].inputs[0]];
-        NetId q = cells_[idx].output;
-        if (forced_[q])
-            d = forcedVal_[q];
-        if (dffState_[i] != d)
-            ++toggles_[idx];
+    const EvalPlan &plan = s_->plan;
+    size_t nd = plan.dffD.size();
+    for (size_t i = 0; i < nd; ++i) {
+        uint8_t d = netVal_[plan.dffD[i]];
+        NetId q = plan.dffQ[i];
+        uint8_t m = forceMask_[q];
+        d = static_cast<uint8_t>((d & ~m) | (forceVal_[q] & m));
+        toggles_[plan.dffCell[i]] += dffState_[i] ^ d;
         dffState_[i] = d;
     }
 }
@@ -430,8 +646,8 @@ Netlist::clockEdge()
 bool
 Netlist::output(const std::string &name) const
 {
-    auto it = outputs_.find(name);
-    if (it == outputs_.end())
+    auto it = s_->outputs.find(name);
+    if (it == s_->outputs.end())
         panic("no output named '%s'", name.c_str());
     return netVal_[it->second];
 }
@@ -450,7 +666,7 @@ bool
 Netlist::netValue(NetId net) const
 {
     checkElaborated(true);
-    if (net >= netVal_.size())
+    if (net >= s_->nextNet)
         panic("netValue: bad net %u", net);
     return netVal_[net];
 }
@@ -460,20 +676,20 @@ Netlist::reset()
 {
     checkElaborated(true);
     for (size_t i = 0; i < dffState_.size(); ++i)
-        dffState_[i] = dffInit_[i];
-    std::fill(netVal_.begin(), netVal_.end(), false);
-    netVal_[one_] = true;
+        dffState_[i] = s_->dffInit[i];
+    std::fill(netVal_.begin(), netVal_.end(), 0);
+    netVal_[s_->one] = 1;
 }
 
 void
 Netlist::injectFault(const StuckFault &fault)
 {
     checkElaborated(true);
-    if (fault.net >= nextNet_)
+    if (fault.net >= s_->nextNet)
         panic("injectFault: bad net %u", fault.net);
     faults_.push_back(fault);
-    forced_[fault.net] = true;
-    forcedVal_[fault.net] = fault.value;
+    forceMask_[fault.net] = 0xFF;
+    forceVal_[fault.net] = fault.value;
 }
 
 void
@@ -481,8 +697,8 @@ Netlist::clearFaults()
 {
     checkElaborated(true);
     for (const auto &f : faults_) {
-        forced_[f.net] = false;
-        forcedVal_[f.net] = false;
+        forceMask_[f.net] = 0;
+        forceVal_[f.net] = 0;
     }
     faults_.clear();
 }
@@ -491,7 +707,7 @@ unsigned
 Netlist::totalDevices() const
 {
     unsigned n = 0;
-    for (const auto &cell : cells_)
+    for (const auto &cell : s_->cells)
         n += cellInfo(cell.type).deviceCount;
     return n;
 }
@@ -500,7 +716,7 @@ double
 Netlist::totalNand2Area() const
 {
     double a = 0.0;
-    for (const auto &cell : cells_)
+    for (const auto &cell : s_->cells)
         a += cellInfo(cell.type).nand2Area;
     return a;
 }
@@ -509,7 +725,7 @@ double
 Netlist::totalStaticCurrentUa() const
 {
     double c = 0.0;
-    for (const auto &cell : cells_)
+    for (const auto &cell : s_->cells)
         c += cellInfo(cell.type).staticCurrentUa;
     return c;
 }
@@ -518,7 +734,7 @@ std::map<std::string, ModuleStats>
 Netlist::moduleBreakdown() const
 {
     std::map<std::string, ModuleStats> out;
-    for (const auto &cell : cells_) {
+    for (const auto &cell : s_->cells) {
         const CellInfo &info = cellInfo(cell.type);
         ModuleStats &m = out[cell.module];
         ++m.cells;
@@ -536,10 +752,10 @@ Netlist::criticalPathDelayUnits() const
 {
     // Longest-path DP in evaluation (topological) order; sources
     // (inputs, constants, DFF Q) start at zero arrival.
-    std::vector<double> arrival(nextNet_, 0.0);
+    std::vector<double> arrival(s_->nextNet, 0.0);
     double worst = 0.0;
-    for (size_t idx : evalOrder_) {
-        const CellInst &cell = cells_[idx];
+    for (size_t idx : s_->evalOrder) {
+        const CellInst &cell = s_->cells[idx];
         double in_max = 0.0;
         for (NetId in : cell.inputs)
             if (in != kNoNet)
@@ -549,8 +765,8 @@ Netlist::criticalPathDelayUnits() const
         worst = std::max(worst, t);
     }
     // Include DFF setup path (D arrival + DFF delay weight).
-    for (size_t idx : dffCells_) {
-        const CellInst &cell = cells_[idx];
+    for (size_t idx : s_->dffCells) {
+        const CellInst &cell = s_->cells[idx];
         worst = std::max(worst, arrival[cell.inputs[0]] +
                                 cellInfo(cell.type).delayUnits);
     }

@@ -13,6 +13,29 @@
  *  - stuck-at fault injection for the yield test bench,
  *  - static analysis: per-module area / device / power rollups and
  *    the critical combinational path in delay units.
+ *
+ * Internally a netlist is split into a *shared immutable structure*
+ * (cells, connectivity, the compiled evaluation plan) and cheap
+ * *per-instance state* (net values, DFF state, fault forces, toggle
+ * counters). elaborate() freezes the structure and compiles the
+ * evaluation plan:
+ *
+ *  - combinational cells are flattened, in topological order, into
+ *    contiguous input-index / output-index / truth-table arrays
+ *    (three padded input slots per cell — unused slots point at a
+ *    dedicated always-zero scratch net),
+ *  - each cell evaluates branchlessly as one 8-bit truth-table
+ *    lookup indexed by its (up to three) input bits,
+ *  - net values are byte-packed (one byte per net, strictly 0/1),
+ *  - stuck-at faults become per-net force masks applied with
+ *    bitwise blends instead of branches.
+ *
+ * clone() then produces an independent simulation instance in a few
+ * memcpys: the structure is shared by reference, only the mutable
+ * state is copied. This is what lets the Monte-Carlo wafer study
+ * fault-simulate hundreds of defective dies without rebuilding the
+ * core netlist per die. evaluateReference() retains the original
+ * cell-by-cell interpreter as a differential-testing oracle.
  */
 
 #ifndef FLEXI_NETLIST_NETLIST_HH
@@ -20,6 +43,7 @@
 
 #include <cstdint>
 #include <map>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -59,19 +83,46 @@ struct ModuleStats
     double staticCurrentUa = 0.0;
 };
 
+/**
+ * A named bus resolved to net ids once, so the per-cycle drive /
+ * sample of instruction, port, and PC buses stops concatenating
+ * strings and probing name maps. Obtain from Netlist::inputBus() /
+ * Netlist::outputBus(); valid for the netlist that produced it and
+ * any of its clone()s (they share the same net numbering).
+ */
+class BusHandle
+{
+  public:
+    BusHandle() = default;
+    unsigned width() const { return nets_.size(); }
+    bool valid() const { return !nets_.empty(); }
+
+  private:
+    friend class Netlist;
+    std::vector<NetId> nets_;   ///< LSB first
+    bool input_ = false;
+};
+
 class Netlist
 {
   public:
     explicit Netlist(std::string name);
 
-    const std::string &name() const { return name_; }
+    // The structure is shared between clones by reference; copying a
+    // Netlist wholesale is never what callers want (use clone()).
+    Netlist(const Netlist &) = delete;
+    Netlist &operator=(const Netlist &) = delete;
+    Netlist(Netlist &&) = default;
+    Netlist &operator=(Netlist &&) = default;
+
+    const std::string &name() const;
 
     /** @name Construction */
     ///@{
     NetId newNet();
     /** Constant-0 / constant-1 nets. */
-    NetId zero() const { return zero_; }
-    NetId one() const { return one_; }
+    NetId zero() const;
+    NetId one() const;
 
     /** Add a primary input and return its net. */
     NetId addInput(const std::string &name);
@@ -105,17 +156,48 @@ class Netlist
 
     /** @name Simulation */
     ///@{
-    /** Finalize: levelize. Must be called before evaluation. */
+    /**
+     * Finalize: levelize and compile the flat evaluation plan. Must
+     * be called before evaluation; freezes the structure.
+     */
     void elaborate();
     bool elaborated() const { return elaborated_; }
+
+    /**
+     * Independent simulation instance sharing this netlist's
+     * immutable structure. O(state), not O(structure): only net
+     * values, DFF state, fault forces, and toggle counters are
+     * copied (including any currently injected faults). Requires an
+     * elaborated netlist. Safe to call concurrently from multiple
+     * threads, and clones can be simulated concurrently.
+     */
+    std::unique_ptr<Netlist> clone() const;
 
     void setInput(const std::string &name, bool value);
     /** Set a multi-bit input bus name0..name{n-1}, LSB first. */
     void setBus(const std::string &prefix, unsigned width,
                 unsigned value);
 
+    /** Resolve an input bus prefix0..prefix{width-1} once. */
+    BusHandle inputBus(const std::string &prefix,
+                       unsigned width) const;
+    /** Resolve an output bus prefix0..prefix{width-1} once. */
+    BusHandle outputBus(const std::string &prefix,
+                        unsigned width) const;
+    /** Drive a pre-resolved input bus (hot-path setBus). */
+    void setBus(const BusHandle &bus, unsigned value);
+    /** Sample a pre-resolved bus (hot-path bus()). */
+    unsigned bus(const BusHandle &bus) const;
+
     /** Propagate combinational logic (call after setting inputs). */
     void evaluate();
+    /**
+     * Reference implementation of evaluate(): the original
+     * cell-by-cell interpreter walking CellInst records. Kept as the
+     * differential-testing oracle for the compiled plan; bit-exact
+     * in outputs and toggle counts.
+     */
+    void evaluateReference();
     /** Clock edge: commit DFFs (call after evaluate()). */
     void clockEdge();
 
@@ -128,22 +210,18 @@ class Netlist
 
     void injectFault(const StuckFault &fault);
     void clearFaults();
+    /** Faults currently forced on this instance. */
+    const std::vector<StuckFault> &faults() const { return faults_; }
     ///@}
 
     /** @name Analysis */
     ///@{
-    size_t numCells() const { return cells_.size(); }
-    size_t numNets() const { return nextNet_; }
+    size_t numCells() const;
+    size_t numNets() const;
 
     /** Named primary inputs / outputs (name -> net). */
-    const std::map<std::string, NetId> &primaryInputs() const
-    {
-        return inputs_;
-    }
-    const std::map<std::string, NetId> &primaryOutputs() const
-    {
-        return outputs_;
-    }
+    const std::map<std::string, NetId> &primaryInputs() const;
+    const std::map<std::string, NetId> &primaryOutputs() const;
 
     /**
      * Nets consumed by combinational cells but driven by nothing
@@ -178,34 +256,64 @@ class Netlist
     uint64_t minCellToggles() const;
     double meanCellToggles() const;
 
-    const std::vector<CellInst> &cells() const { return cells_; }
+    const std::vector<CellInst> &cells() const;
     ///@}
 
   private:
+    /**
+     * The compiled flat evaluation plan: combinational cells in
+     * topological order with padded three-slot input indices, one
+     * 8-bit truth table per cell, plus flattened DFF D/Q indices.
+     * Unused input slots point at the scratch net (index numNets()),
+     * which always reads 0 and is unreachable by fault injection.
+     */
+    struct EvalPlan
+    {
+        std::vector<NetId> in;        ///< 3 slots per comb cell
+        std::vector<NetId> out;       ///< output net per comb cell
+        std::vector<uint8_t> lut;     ///< truth table per comb cell
+        std::vector<uint32_t> cell;   ///< original cell index
+        std::vector<NetId> dffD;
+        std::vector<NetId> dffQ;
+        std::vector<uint32_t> dffCell;
+    };
+
+    /** Immutable (once elaborated) shared structure. */
+    struct Structure
+    {
+        std::string name;
+        std::vector<CellInst> cells;
+        NetId nextNet = 0;
+        NetId zero = kNoNet;
+        NetId one = kNoNet;
+        std::map<std::string, NetId> inputs;
+        std::map<std::string, NetId> outputs;
+        /** DFF bookkeeping: cell index and power-on value. */
+        std::vector<size_t> dffCells;
+        std::vector<uint8_t> dffInit;
+        std::vector<size_t> evalOrder;   ///< comb cells in topo order
+        EvalPlan plan;
+    };
+
+    /** clone(): share structure, copy instance state. */
+    Netlist(const Netlist &other, bool);
+
     void checkElaborated(bool want) const;
+    void compilePlan();
 
-    std::string name_;
-    std::vector<CellInst> cells_;
-    NetId nextNet_ = 0;
-    NetId zero_ = kNoNet;
-    NetId one_ = kNoNet;
-
-    std::map<std::string, NetId> inputs_;
-    std::map<std::string, NetId> outputs_;
-
-    /** DFF bookkeeping: cell index -> state. */
-    std::vector<size_t> dffCells_;
-    std::vector<bool> dffState_;
-    std::vector<bool> dffInit_;
-
-    std::vector<bool> netVal_;
-    std::vector<size_t> evalOrder_;   ///< comb cells in topo order
+    std::shared_ptr<Structure> s_;
     bool elaborated_ = false;
 
+    /**
+     * Per-instance state. All value vectors hold strictly 0/1 bytes
+     * (the evaluator composes truth-table indices from them);
+     * netVal_ has one extra trailing scratch byte that stays 0.
+     */
+    std::vector<uint8_t> netVal_;
+    std::vector<uint8_t> dffState_;
     std::vector<StuckFault> faults_;
-    std::vector<bool> forced_;        ///< per-net fault mask
-    std::vector<bool> forcedVal_;
-
+    std::vector<uint8_t> forceMask_;   ///< 0xFF where a fault forces
+    std::vector<uint8_t> forceVal_;
     std::vector<uint64_t> toggles_;
 };
 

@@ -31,6 +31,7 @@ WaferMap::WaferMap(double diameter_mm, double pitch_mm,
             if (site.radiusMm > radius)
                 continue;
             site.inInclusionZone = site.radiusMm <= incl;
+            site.index = sites_.size();
             sites_.push_back(site);
         }
     }

@@ -26,6 +26,9 @@ constexpr double kDiePitchMm = 16.0;
 /** One die location on the wafer. */
 struct DieSite
 {
+    /** Position in WaferMap::sites() — the die's stable identity.
+     *  Seeds the die's private RNG stream in the wafer study. */
+    size_t index = 0;
     int col = 0;
     int row = 0;
     double xMm = 0.0;        ///< die-center X, wafer-centered

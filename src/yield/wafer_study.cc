@@ -1,8 +1,10 @@
 #include "wafer_study.hh"
 
 #include <cmath>
+#include <memory>
 
 #include "common/logging.hh"
+#include "common/thread_pool.hh"
 #include "netlist/flexicore_netlist.hh"
 #include "netlist/lockstep.hh"
 #include "yield/test_program.hh"
@@ -10,8 +12,11 @@
 namespace flexi
 {
 
+namespace
+{
+
 DesignSpec
-designSpecFor(IsaKind isa)
+computeDesignSpec(IsaKind isa)
 {
     DesignSpec spec;
     std::unique_ptr<Netlist> nl;
@@ -36,8 +41,23 @@ designSpecFor(IsaKind isa)
     return spec;
 }
 
-namespace
+/**
+ * Elaborated golden netlist of a fabricated core, built once per
+ * process; per-die faulty instances are clone()d from it. Safe to
+ * clone concurrently (the structure is immutable and shared).
+ */
+const Netlist &
+templateNetlist(IsaKind isa)
 {
+    if (isa == IsaKind::FlexiCore4) {
+        static const std::unique_ptr<Netlist> fc4 =
+            buildFlexiCore4Netlist();
+        return *fc4;
+    }
+    static const std::unique_ptr<Netlist> fc8 =
+        buildFlexiCore8Netlist();
+    return *fc8;
+}
 
 /** Probe one die at one voltage. */
 DieProbe
@@ -52,6 +72,12 @@ probeDie(const DieModel &model, const DieSample &die, double vdd,
     uint64_t errors = 0;
     if (die.hasDefects()) {
         if (cfg.gateLevelErrors && faulty_netlist) {
+            // Each probe is self-contained: runLockstep re-resets
+            // the DFF state, and clearing the toggle counters here
+            // keeps the probes from accumulating into each other's
+            // activity statistics (the 4.5 V counts used to leak
+            // into the 3 V probe's).
+            faulty_netlist->resetToggles();
             LockstepResult res =
                 runLockstep(*faulty_netlist, cfg.isa, test_prog,
                             test_inputs, cfg.testCycles);
@@ -79,14 +105,26 @@ probeDie(const DieModel &model, const DieSample &die, double vdd,
     return probe;
 }
 
-std::unique_ptr<Netlist>
-buildNetlist(IsaKind isa)
-{
-    return isa == IsaKind::FlexiCore4 ? buildFlexiCore4Netlist()
-                                      : buildFlexiCore8Netlist();
-}
-
 } // namespace
+
+DesignSpec
+designSpecFor(IsaKind isa)
+{
+    // The spec is a pure function of the (immutable) netlist; cache
+    // per core so hot callers — every runWaferStudy() — stop
+    // rebuilding the whole netlist just to measure it.
+    if (isa == IsaKind::FlexiCore4) {
+        static const DesignSpec fc4 =
+            computeDesignSpec(IsaKind::FlexiCore4);
+        return fc4;
+    }
+    if (isa == IsaKind::FlexiCore8) {
+        static const DesignSpec fc8 =
+            computeDesignSpec(IsaKind::FlexiCore8);
+        return fc8;
+    }
+    return computeDesignSpec(isa);   // fatals with the right name
+}
 
 double
 WaferStudyResult::yield(double vdd, bool inclusion_only) const
@@ -120,27 +158,37 @@ runWaferStudy(const WaferStudyConfig &config)
     WaferMap wafer;
     DesignSpec spec = designSpecFor(config.isa);
     DieModel model(spec, config.params);
-    Rng rng(config.seed ^ 0x3AFE12D1E5ull);
 
     Program test_prog = makeTestProgram(config.isa, config.seed);
     std::vector<uint8_t> test_inputs =
         makeTestInputs(config.isa, 256, config.seed);
+    const Netlist *golden =
+        config.gateLevelErrors ? &templateNetlist(config.isa)
+                               : nullptr;
 
     WaferStudyResult result;
     result.config = config;
     result.spec = spec;
-    result.dies.reserve(wafer.numDies());
+    result.dies.resize(wafer.numDies());
 
-    for (const DieSite &site : wafer.sites()) {
-        DieResult die;
+    const std::vector<DieSite> &sites = wafer.sites();
+    parallelFor(sites.size(), config.threads, [&](size_t i) {
+        const DieSite &site = sites[i];
+        // Every die owns an RNG stream derived from (seed, site
+        // index): probing order, die count, and thread count cannot
+        // perturb any other die's draws.
+        Rng rng(deriveSeed(config.seed ^ 0x3AFE12D1E5ull,
+                           site.index));
+
+        DieResult &die = result.dies[i];
         die.site = site;
         die.sample = model.sample(site, wafer, rng);
 
-        // Build the die's faulty netlist once (if it has defects);
-        // probe at both voltages like the real test flow.
+        // Clone the golden netlist and break it (if the die has
+        // defects); probe at both voltages like the real test flow.
         std::unique_ptr<Netlist> faulty;
-        if (die.sample.hasDefects() && config.gateLevelErrors) {
-            faulty = buildNetlist(config.isa);
+        if (die.sample.hasDefects() && golden) {
+            faulty = golden->clone();
             for (unsigned d = 0; d < die.sample.defects; ++d) {
                 NetId net = static_cast<NetId>(
                     rng.below(faulty->numNets()));
@@ -156,8 +204,7 @@ runWaferStudy(const WaferStudyConfig &config)
         die.at3V = probeDie(model, die.sample, kVddLow, config,
                             faulty.get(), test_prog, test_inputs,
                             rng);
-        result.dies.push_back(std::move(die));
-    }
+    });
     return result;
 }
 

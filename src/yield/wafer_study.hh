@@ -54,6 +54,13 @@ struct WaferStudyConfig
     /** Gate-level fault simulation for defective dies (vs. a purely
      *  statistical error count). */
     bool gateLevelErrors = true;
+    /**
+     * Worker threads for the die loop: 0 = auto (FLEXI_THREADS env
+     * var, else hardware concurrency), 1 = single-threaded. Every
+     * die draws from its own RNG stream seeded by (seed,
+     * site.index), so results are bit-identical for any value.
+     */
+    unsigned threads = 0;
     DieModelParams params;
 };
 

@@ -5,13 +5,16 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <cmath>
 #include <set>
+#include <vector>
 
 #include "common/bitops.hh"
 #include "common/logging.hh"
 #include "common/rng.hh"
 #include "common/stats.hh"
+#include "common/thread_pool.hh"
 
 namespace flexi
 {
@@ -194,6 +197,95 @@ TEST(FmtDouble, Digits)
 {
     EXPECT_EQ(fmtDouble(3.14159, 2), "3.14");
     EXPECT_EQ(fmtDouble(1.0, 0), "1");
+}
+
+// ---------------------------------------------------------------
+// RNG stream derivation
+// ---------------------------------------------------------------
+
+TEST(DeriveSeed, StreamsAreDistinctAndStable)
+{
+    // The derived seed must be a pure function of (seed, stream) —
+    // this is what makes Monte-Carlo results independent of work
+    // order and thread count.
+    EXPECT_EQ(deriveSeed(1, 0), deriveSeed(1, 0));
+    std::set<uint64_t> seen;
+    for (uint64_t seed : {0ull, 1ull, 42ull, ~0ull})
+        for (uint64_t stream = 0; stream < 64; ++stream)
+            seen.insert(deriveSeed(seed, stream));
+    EXPECT_EQ(seen.size(), 4u * 64u);
+}
+
+TEST(DeriveSeed, AdjacentStreamsDecorrelated)
+{
+    // Consecutive stream indices (die 17, die 18, ...) must yield
+    // unrelated draws, not shifted copies of one sequence.
+    Rng a(deriveSeed(5, 17));
+    Rng b(deriveSeed(5, 18));
+    unsigned agree = 0;
+    for (int i = 0; i < 1000; ++i)
+        agree += a.chance(0.5) == b.chance(0.5);
+    EXPECT_GT(agree, 400u);
+    EXPECT_LT(agree, 600u);
+}
+
+// ---------------------------------------------------------------
+// Thread pool
+// ---------------------------------------------------------------
+
+TEST(ThreadPool, ParallelForCoversEveryIndexOnce)
+{
+    ThreadPool pool(4);
+    std::vector<std::atomic<int>> hits(10000);
+    pool.parallelFor(hits.size(),
+                     [&](size_t i) { hits[i].fetch_add(1); });
+    for (const auto &h : hits)
+        ASSERT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, SingleThreadRunsInline)
+{
+    ThreadPool pool(1);
+    EXPECT_EQ(pool.numThreads(), 1u);
+    std::vector<int> order;
+    pool.parallelFor(5, [&](size_t i) {
+        order.push_back(static_cast<int>(i));
+    });
+    EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(ThreadPool, ExceptionsPropagateToCaller)
+{
+    ThreadPool pool(2);
+    EXPECT_THROW(pool.parallelFor(100,
+                                  [&](size_t i) {
+                                      if (i == 57)
+                                          fatal("bad unit");
+                                  }),
+                 FatalError);
+    // The pool survives a failed job and runs the next one.
+    std::atomic<int> n{0};
+    pool.parallelFor(8, [&](size_t) { n.fetch_add(1); });
+    EXPECT_EQ(n.load(), 8);
+}
+
+TEST(ThreadPool, FreeFunctionNestsInline)
+{
+    // A parallelFor issued from inside a parallelFor worker must not
+    // deadlock on the shared global pool; nested calls degrade to
+    // inline execution.
+    std::atomic<int> n{0};
+    parallelFor(4, 2, [&](size_t) {
+        parallelFor(4, 2, [&](size_t) { n.fetch_add(1); });
+    });
+    EXPECT_EQ(n.load(), 16);
+}
+
+TEST(ThreadPool, ZeroItemsIsANoop)
+{
+    std::atomic<int> n{0};
+    parallelFor(0, 3, [&](size_t) { n.fetch_add(1); });
+    EXPECT_EQ(n.load(), 0);
 }
 
 } // namespace

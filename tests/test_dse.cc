@@ -11,6 +11,7 @@
 #include "dse/area_model.hh"
 #include "dse/code_size.hh"
 #include "dse/perf_model.hh"
+#include "dse/sweep.hh"
 #include "netlist/flexicore_netlist.hh"
 
 namespace flexi
@@ -413,6 +414,65 @@ TEST(PerfModel, BaselineEnergyPerInstructionNearPaper)
         base.energyJ / static_cast<double>(base.instructions) * 1e9;
     EXPECT_GT(nj_per_instr, 100.0);
     EXPECT_LT(nj_per_instr, 600.0);
+}
+
+// ---------------------------------------------------------------
+// Design-space sweep
+// ---------------------------------------------------------------
+
+TEST(Sweep, BaselinePointIsUnity)
+{
+    SweepConfig cfg;
+    cfg.workUnits = 2;
+    cfg.threads = 1;
+    auto all = sweepDesignSpace(cfg);
+    ASSERT_FALSE(all.empty());
+
+    // The FlexiCore4 point (no features, accumulator, single-cycle)
+    // is the normalization anchor: all ratios exactly 1.
+    bool found = false;
+    for (const auto &c : all) {
+        if (c.point.features == IsaFeatures::none() &&
+            c.point.operands == OperandModel::Accumulator &&
+            c.point.uarch == MicroArch::SingleCycle) {
+            found = true;
+            EXPECT_DOUBLE_EQ(c.area, 1.0);
+            EXPECT_DOUBLE_EQ(c.codeRel, 1.0);
+            EXPECT_DOUBLE_EQ(c.energyRel, 1.0);
+        }
+    }
+    EXPECT_TRUE(found);
+    // At least one point is Pareto-optimal, and a dominated point is
+    // never marked.
+    unsigned pareto = 0;
+    for (const auto &c : all) {
+        pareto += c.pareto;
+        for (const auto &other : all)
+            if (other.dominates(c))
+                EXPECT_FALSE(c.pareto);
+    }
+    EXPECT_GT(pareto, 0u);
+}
+
+TEST(Sweep, ThreadCountDoesNotChangeResults)
+{
+    SweepConfig cfg;
+    cfg.workUnits = 2;
+    cfg.threads = 1;
+    auto serial = sweepDesignSpace(cfg);
+    cfg.threads = 4;
+    auto threaded = sweepDesignSpace(cfg);
+
+    ASSERT_EQ(serial.size(), threaded.size());
+    for (size_t i = 0; i < serial.size(); ++i) {
+        EXPECT_EQ(serial[i].point.name(), threaded[i].point.name());
+        EXPECT_EQ(serial[i].point.features.tag(),
+                  threaded[i].point.features.tag());
+        EXPECT_EQ(serial[i].area, threaded[i].area);
+        EXPECT_EQ(serial[i].codeRel, threaded[i].codeRel);
+        EXPECT_EQ(serial[i].energyRel, threaded[i].energyRel);
+        EXPECT_EQ(serial[i].pareto, threaded[i].pareto);
+    }
 }
 
 } // namespace
