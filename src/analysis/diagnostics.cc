@@ -23,6 +23,18 @@ LintReport::append(const LintReport &other)
                   other.diags_.end());
 }
 
+void
+LintReport::resolveNetNames(const Netlist &nl)
+{
+    for (auto &d : diags_) {
+        if (!d.netNames.empty())
+            continue;   // already resolved by the emitting pass
+        d.netNames.reserve(d.nets.size());
+        for (NetId net : d.nets)
+            d.netNames.push_back(nl.netName(net));
+    }
+}
+
 size_t
 LintReport::count(Severity severity) const
 {
@@ -101,8 +113,15 @@ LintReport::json(const std::string &subject) const
         out += "\"module\": \"" + jsonEscape(d.module) + "\", ";
         out += strfmt("\"page\": %d, \"addr\": %d, ", d.page, d.addr);
         out += "\"nets\": [";
-        for (size_t k = 0; k < d.nets.size(); ++k)
-            out += strfmt("%s%u", k ? ", " : "", d.nets[k]);
+        // Prefer the resolved stable names; fall back to "n<id>" for
+        // diagnostics that were never resolved against a netlist.
+        for (size_t k = 0; k < d.nets.size(); ++k) {
+            std::string name = k < d.netNames.size()
+                                   ? d.netNames[k]
+                                   : strfmt("n%u", d.nets[k]);
+            out += (k ? ", " : "");
+            out += "\"" + jsonEscape(name) + "\"";
+        }
         out += "], ";
         out += "\"message\": \"" + jsonEscape(d.message) + "\"}";
     }

@@ -48,6 +48,13 @@ struct Diagnostic
     int page = -1;
     int addr = -1;
     std::string message;
+    /**
+     * Stable names for `nets`, resolved through the netlist name
+     * table (LintReport::resolveNetNames()). JSON output renders
+     * these instead of bare NetId integers, so reports stay
+     * meaningful across netlist re-elaboration.
+     */
+    std::vector<std::string> netNames;
 };
 
 /** The outcome of one lint pass (or several, concatenated). */
@@ -56,6 +63,13 @@ class LintReport
   public:
     void add(Diagnostic diag) { diags_.push_back(std::move(diag)); }
     void append(const LintReport &other);
+
+    /**
+     * Fill every diagnostic's netNames from its nets via the
+     * netlist's name table. Passes call this once after emitting
+     * their findings.
+     */
+    void resolveNetNames(const Netlist &nl);
 
     const std::vector<Diagnostic> &diagnostics() const
     {

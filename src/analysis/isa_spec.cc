@@ -1,0 +1,623 @@
+#include "isa_spec.hh"
+
+#include "common/logging.hh"
+
+namespace flexi
+{
+
+namespace
+{
+
+using Word = CnfBuilder::Word;
+
+Word
+stateWord(const IsaSpecInputs &in, const std::string &prefix,
+          unsigned width)
+{
+    Word w(width);
+    for (unsigned i = 0; i < width; ++i) {
+        auto it = in.state.find(prefix + std::to_string(i));
+        if (it == in.state.end())
+            panic("ISA spec: missing state bit '%s%u'",
+                  prefix.c_str(), i);
+        w[i] = it->second;
+    }
+    return w;
+}
+
+SatLit
+stateBit(const IsaSpecInputs &in, const std::string &name)
+{
+    auto it = in.state.find(name);
+    if (it == in.state.end())
+        panic("ISA spec: missing state bit '%s'", name.c_str());
+    return it->second;
+}
+
+void
+setWord(IsaSpec &spec, const std::string &prefix, const Word &w)
+{
+    for (unsigned i = 0; i < w.size(); ++i)
+        spec.nextState[prefix + std::to_string(i)] = w[i];
+}
+
+/** 2^k : 1 word mux (sel LSB first; words.size() == 1 << k). */
+Word
+muxN(CnfBuilder &cnf, const std::vector<Word> &words, const Word &sel)
+{
+    std::vector<Word> layer = words;
+    for (SatLit s : sel) {
+        std::vector<Word> next;
+        for (size_t i = 0; i + 1 < layer.size(); i += 2)
+            next.push_back(cnf.mux(layer[i], layer[i + 1], s));
+        layer = std::move(next);
+    }
+    return layer[0];
+}
+
+Word
+increment(CnfBuilder &cnf, const Word &a)
+{
+    return cnf.add(a, cnf.constWord(0, a.size()), cnf.constTrue());
+}
+
+/**
+ * Behavioral shifter: an N-way select over all statically shifted
+ * copies of @p v (the iterative shift semantics of CoreSim). Returns
+ * the shifted word; @p carry_out gets the last bit shifted out (the
+ * previous carry for amount 0, where no shift write-back happens).
+ */
+Word
+behavioralShift(CnfBuilder &cnf, const Word &v, const Word &amt,
+                SatLit fill, SatLit carry, SatLit *carry_out)
+{
+    unsigned w = static_cast<unsigned>(v.size());
+    Word val = v;
+    SatLit car = carry;
+    for (unsigned k = 1; k < 8; ++k) {
+        Word vk(w);
+        for (unsigned j = 0; j < w; ++j)
+            vk[j] = j + k < w ? v[j + k] : fill;
+        SatLit ck = k - 1 < w ? v[k - 1] : fill;
+        SatLit sel = cnf.equalsConst(amt, k);
+        val = cnf.mux(val, vk, sel);
+        car = cnf.mkMux(car, ck, sel);
+    }
+    if (carry_out)
+        *carry_out = car;
+    return val;
+}
+
+// ---------------------------------------------------------------
+// FlexiCore4 (Section 3.3/3.4): no controller state at all.
+
+IsaSpec
+specFc4(CnfBuilder &cnf, const IsaSpecInputs &in)
+{
+    const Word &instr = in.instr;
+    Word acc = stateWord(in, "acc", 4);
+    Word pc = stateWord(in, "pc_q", 7);
+    Word oport = stateWord(in, "oport_q", 4);
+    std::vector<Word> words(8);
+    words[0] = in.iport;
+    words[1] = oport;
+    for (unsigned w = 2; w < 8; ++w)
+        words[w] = stateWord(in, "mem" + std::to_string(w) + "_", 4);
+
+    SatLit i7 = instr[7];
+    SatLit i6 = instr[6];
+    Word addr = {instr[0], instr[1], instr[2]};
+    Word rdata = muxN(cnf, words, addr);
+    Word imm = {instr[0], instr[1], instr[2], instr[3]};
+    Word operand = cnf.mux(rdata, imm, i6);
+
+    SatLit cout;
+    Word sum = cnf.add(acc, operand, cnf.constFalse(), &cout);
+    Word nand_w(4);
+    Word xor_w(4);
+    for (unsigned i = 0; i < 4; ++i) {
+        nand_w[i] = cnf.mkNand(acc[i], operand[i]);
+        xor_w[i] = cnf.mkXor(acc[i], operand[i]);
+    }
+    // ALU select (instr[5:4]): 00 add, 01 nand, 10 xor, 11 pass.
+    Word alu = cnf.mux(cnf.mux(sum, nand_w, instr[4]),
+                       cnf.mux(xor_w, operand, instr[4]), instr[5]);
+
+    SatLit tform = cnf.mkAndN({~i7, ~i6, instr[5], instr[4]});
+    SatLit store = cnf.mkAnd(tform, instr[3]);
+    SatLit acc_we = cnf.mkAnd(~i7, ~store);
+    SatLit taken = cnf.mkAnd(i7, acc[3]);
+
+    IsaSpec spec;
+    setWord(spec, "acc", cnf.mux(acc, alu, acc_we));
+    setWord(spec, "oport_q",
+            cnf.mux(oport, acc,
+                    cnf.mkAnd(cnf.equalsConst(addr, 1), store)));
+    for (unsigned w = 2; w < 8; ++w)
+        setWord(spec, "mem" + std::to_string(w) + "_",
+                cnf.mux(words[w], acc,
+                        cnf.mkAnd(cnf.equalsConst(addr, w), store)));
+    Word target = {instr[0], instr[1], instr[2], instr[3],
+                   instr[4], instr[5], instr[6]};
+    setWord(spec, "pc_q", cnf.mux(increment(cnf, pc), target, taken));
+
+    spec.classes = {
+        {"br", {{7, true}}, {}},
+        {"add", {{7, false}, {6, false}, {5, false}, {4, false}}, {}},
+        {"nand", {{7, false}, {6, false}, {5, false}, {4, true}}, {}},
+        {"xor", {{7, false}, {6, false}, {5, true}, {4, false}}, {}},
+        {"load",
+         {{7, false}, {6, false}, {5, true}, {4, true}, {3, false}},
+         {}},
+        {"store",
+         {{7, false}, {6, false}, {5, true}, {4, true}, {3, true}},
+         {}},
+        {"addi", {{7, false}, {6, true}, {5, false}, {4, false}}, {}},
+        {"nandi", {{7, false}, {6, true}, {5, false}, {4, true}}, {}},
+        {"xori", {{7, false}, {6, true}, {5, true}, {4, false}}, {}},
+        {"li", {{7, false}, {6, true}, {5, true}, {4, true}}, {}},
+        {"*", {}, {}},
+    };
+    return spec;
+}
+
+// ---------------------------------------------------------------
+// FlexiCore8: FlexiCore4 widened, plus the LOAD BYTE flag.
+
+IsaSpec
+specFc8(CnfBuilder &cnf, const IsaSpecInputs &in)
+{
+    const Word &instr = in.instr;
+    Word acc = stateWord(in, "acc", 8);
+    Word pc = stateWord(in, "pc_q", 7);
+    Word oport = stateWord(in, "oport_q", 8);
+    SatLit flag = stateBit(in, "ldb_flag");
+    std::vector<Word> words(4);
+    words[0] = in.iport;
+    words[1] = oport;
+    words[2] = stateWord(in, "mem2_", 8);
+    words[3] = stateWord(in, "mem3_", 8);
+
+    SatLit i7 = instr[7];
+    SatLit i6 = instr[6];
+    SatLit prefix = cnf.equalsConst(instr, 0x08);
+    SatLit squash = cnf.mkOr(flag, prefix);
+
+    Word addr = {instr[0], instr[1]};
+    Word rdata = muxN(cnf, words, addr);
+    // Sign-extended 4-bit immediate.
+    Word imm = {instr[0], instr[1], instr[2], instr[3],
+                instr[3], instr[3], instr[3], instr[3]};
+    Word operand = cnf.mux(rdata, imm, i6);
+
+    SatLit cout;
+    Word sum = cnf.add(acc, operand, cnf.constFalse(), &cout);
+    Word nand_w(8);
+    Word xor_w(8);
+    for (unsigned i = 0; i < 8; ++i) {
+        nand_w[i] = cnf.mkNand(acc[i], operand[i]);
+        xor_w[i] = cnf.mkXor(acc[i], operand[i]);
+    }
+    Word alu = cnf.mux(cnf.mux(sum, nand_w, instr[4]),
+                       cnf.mux(xor_w, operand, instr[4]), instr[5]);
+
+    SatLit tform = cnf.mkAndN({~i7, ~i6, instr[5], instr[4]});
+    SatLit store = cnf.mkAndN({tform, instr[3], ~squash});
+    SatLit acc_alu_we = cnf.mkAndN({~i7, ~store, ~squash});
+    SatLit acc_we = cnf.mkOr(acc_alu_we, flag);
+    // The data cycle captures the raw instruction byte.
+    Word acc_in = cnf.mux(alu, instr, flag);
+    SatLit taken = cnf.mkAndN({i7, acc[7], ~squash});
+
+    IsaSpec spec;
+    setWord(spec, "acc", cnf.mux(acc, acc_in, acc_we));
+    setWord(spec, "oport_q",
+            cnf.mux(oport, acc,
+                    cnf.mkAnd(cnf.equalsConst(addr, 1), store)));
+    for (unsigned w = 2; w < 4; ++w)
+        setWord(spec, "mem" + std::to_string(w) + "_",
+                cnf.mux(words[w], acc,
+                        cnf.mkAnd(cnf.equalsConst(addr, w), store)));
+    Word target = {instr[0], instr[1], instr[2], instr[3],
+                   instr[4], instr[5], instr[6]};
+    setWord(spec, "pc_q", cnf.mux(increment(cnf, pc), target, taken));
+    spec.nextState["ldb_flag"] = cnf.mkAnd(prefix, ~flag);
+
+    // The FlexiCore4 classes, each on a normal (flag clear) cycle,
+    // plus the two LOAD BYTE cycles.
+    IsaSpec fc4_shape;   // reuse the class table layout
+    spec.classes = {
+        {"br", {{7, true}}, {{"ldb_flag", false}}},
+        {"add", {{7, false}, {6, false}, {5, false}, {4, false}},
+         {{"ldb_flag", false}}},
+        {"nand", {{7, false}, {6, false}, {5, false}, {4, true}},
+         {{"ldb_flag", false}}},
+        {"xor", {{7, false}, {6, false}, {5, true}, {4, false}},
+         {{"ldb_flag", false}}},
+        {"load",
+         {{7, false}, {6, false}, {5, true}, {4, true}, {3, false}},
+         {{"ldb_flag", false}}},
+        {"store",
+         {{7, false}, {6, false}, {5, true}, {4, true}, {3, true}},
+         {{"ldb_flag", false}}},
+        {"addi", {{7, false}, {6, true}, {5, false}, {4, false}},
+         {{"ldb_flag", false}}},
+        {"nandi", {{7, false}, {6, true}, {5, false}, {4, true}},
+         {{"ldb_flag", false}}},
+        {"xori", {{7, false}, {6, true}, {5, true}, {4, false}},
+         {{"ldb_flag", false}}},
+        {"li", {{7, false}, {6, true}, {5, true}, {4, true}},
+         {{"ldb_flag", false}}},
+        {"ldb-prefix",
+         {{7, false}, {6, false}, {5, false}, {4, false}, {3, true},
+          {2, false}, {1, false}, {0, false}},
+         {{"ldb_flag", false}}},
+        {"ldb-data", {}, {{"ldb_flag", true}}},
+        {"*", {}, {}},
+    };
+    (void)fc4_shape;
+    return spec;
+}
+
+// ---------------------------------------------------------------
+// ExtAcc4: the Section 6.1 revised accumulator op set.
+
+IsaSpec
+specExtAcc4(CnfBuilder &cnf, const IsaSpecInputs &in)
+{
+    const Word &instr = in.instr;
+    Word acc = stateWord(in, "acc", 4);
+    Word pc = stateWord(in, "pc_q", 7);
+    Word oport = stateWord(in, "oport_q", 4);
+    Word ret = stateWord(in, "ret_q", 7);
+    SatLit carry = stateBit(in, "carry");
+    std::vector<Word> words(8);
+    words[0] = in.iport;
+    words[1] = oport;
+    for (unsigned w = 2; w < 8; ++w)
+        words[w] = stateWord(in, "mem" + std::to_string(w) + "_", 4);
+
+    SatLit i7 = instr[7];
+    SatLit i6 = instr[6];
+    SatLit i5 = instr[5];
+    SatLit i4 = instr[4];
+    SatLit i3 = instr[3];
+    SatLit is_m = cnf.mkAnd(~i7, ~i6);
+    SatLit is_i = cnf.mkAnd(~i7, i6);
+    SatLit is_t = cnf.mkAnd(i7, ~i6);
+    SatLit is_bc = cnf.mkAnd(i7, i6);
+    SatLit is_br = cnf.mkAnd(is_bc, ~i5);
+    SatLit is_call = cnf.mkAnd(is_bc, i5);
+
+    Word sss = {instr[3], instr[4], instr[5]};
+    auto mop = [&](unsigned k) {
+        return cnf.mkAnd(is_m, cnf.equalsConst(sss, k));
+    };
+    auto iop = [&](unsigned k) {
+        return cnf.mkAnd(is_i, cnf.equalsConst(sss, k));
+    };
+    auto top = [&](unsigned k) {
+        return cnf.mkAnd(is_t, cnf.equalsConst(sss, k));
+    };
+
+    SatLit t_load = top(0);
+    SatLit t_store = top(1);
+    SatLit t_neg = top(2);
+    SatLit t_ret = top(3);
+    SatLit t_asr = top(4);
+    SatLit t_lsr = top(5);
+    SatLit i_asr = iop(5);
+    SatLit i_lsr = iop(6);
+    SatLit i_li = iop(7);
+    SatLit m_xch = mop(7);
+    SatLit m_arith = cnf.mkAnd(is_m, ~i5);
+    SatLit i_addadc = cnf.mkAndN({is_i, ~i5, ~i4});
+    SatLit arith = cnf.mkOr(m_arith, i_addadc);
+    SatLit m_sub_swb = cnf.mkAndN({is_m, ~i5, i4});
+    SatLit use_cin = cnf.mkAnd(arith, i3);
+    SatLit force_cin =
+        cnf.mkOr(cnf.mkAnd(m_sub_swb, ~i3), t_neg);
+    SatLit invert_b = cnf.mkOr(m_sub_swb, t_neg);
+    SatLit is_shift =
+        cnf.mkOrN({i_asr, i_lsr, t_asr, t_lsr});
+    SatLit shift_arith = cnf.mkOr(i_asr, t_asr);
+    SatLit is_and = cnf.mkOr(mop(4), iop(2));
+    SatLit is_or = cnf.mkOr(mop(5), iop(3));
+    SatLit is_xor = cnf.mkOr(mop(6), iop(4));
+    SatLit is_pass = cnf.mkOrN({m_xch, i_li, t_load});
+
+    Word addr = {instr[0], instr[1], instr[2]};
+    Word rdata = muxN(cnf, words, addr);
+    SatLit imm_hi = cnf.mkAnd(instr[2], i_addadc);   // sign extend
+    Word imm = {instr[0], instr[1], instr[2], imm_hi};
+    Word operand = cnf.mux(rdata, imm, is_i);
+
+    // Adder: x = acc (0 for neg), y = operand (acc for neg),
+    // optionally inverted; carry-in forced for sub/neg.
+    Word zero4 = cnf.constWord(0, 4);
+    Word x = cnf.mux(acc, zero4, t_neg);
+    Word y_src = cnf.mux(operand, acc, t_neg);
+    Word y(4);
+    for (unsigned i = 0; i < 4; ++i)
+        y[i] = cnf.mkMux(y_src[i], ~y_src[i], invert_b);
+    SatLit cin =
+        cnf.mkMux(cnf.mkAnd(use_cin, carry), cnf.constTrue(),
+                  force_cin);
+    SatLit cout;
+    Word sum = cnf.add(x, y, cin, &cout);
+
+    Word and_w(4);
+    Word or_w(4);
+    Word xor_w(4);
+    for (unsigned i = 0; i < 4; ++i) {
+        and_w[i] = cnf.mkAnd(acc[i], operand[i]);
+        or_w[i] = cnf.mkOr(acc[i], operand[i]);
+        xor_w[i] = cnf.mkXor(acc[i], operand[i]);
+    }
+
+    // Shift amount: 1 for T-form, instr[2:0] for I-form.
+    Word amt = {cnf.mkMux(instr[0], cnf.constTrue(), is_t),
+                cnf.mkAnd(instr[1], is_i),
+                cnf.mkAnd(instr[2], is_i)};
+    SatLit fill = cnf.mkAnd(shift_arith, acc[3]);
+    SatLit sh_c;
+    Word shift_w = behavioralShift(cnf, acc, amt, fill, carry, &sh_c);
+
+    // Result: priority chain over the one-hot op groups.
+    Word res = sum;
+    res = cnf.mux(res, and_w, is_and);
+    res = cnf.mux(res, or_w, is_or);
+    res = cnf.mux(res, xor_w, is_xor);
+    res = cnf.mux(res, shift_w, is_shift);
+    res = cnf.mux(res, operand, is_pass);
+
+    SatLit acc_we =
+        cnf.mkOrN({is_m, is_i, t_load, t_neg, t_asr, t_lsr});
+    SatLit mem_we = cnf.mkOr(m_xch, t_store);
+    SatLit amt_nz = cnf.mkOrN({amt[0], amt[1], amt[2]});
+    SatLit carry_we = cnf.mkOrN(
+        {arith, t_neg, cnf.mkAnd(is_shift, amt_nz)});
+    SatLit carry_next = cnf.mkMux(cout, sh_c, is_shift);
+
+    IsaSpec spec;
+    setWord(spec, "acc", cnf.mux(acc, res, acc_we));
+    spec.nextState["carry"] =
+        cnf.mkMux(carry, carry_next, carry_we);
+    setWord(spec, "oport_q",
+            cnf.mux(oport, acc,
+                    cnf.mkAnd(cnf.equalsConst(addr, 1), mem_we)));
+    for (unsigned w = 2; w < 8; ++w)
+        setWord(spec, "mem" + std::to_string(w) + "_",
+                cnf.mux(words[w], acc,
+                        cnf.mkAnd(cnf.equalsConst(addr, w), mem_we)));
+
+    // Branch / call / ret.
+    SatLit n_flag = acc[3];
+    SatLit z_flag = cnf.norReduce(acc);
+    SatLit p_flag = cnf.mkAnd(~n_flag, ~z_flag);
+    SatLit cond = cnf.mkOrN({cnf.mkAnd(instr[4], n_flag),
+                             cnf.mkAnd(instr[3], z_flag),
+                             cnf.mkAnd(instr[2], p_flag)});
+    SatLit redirect = cnf.mkOr(cnf.mkAnd(is_br, cond), is_call);
+    Word inc1 = increment(cnf, pc);
+    Word inc2 = increment(cnf, inc1);
+    Word inc = cnf.mux(inc1, inc2, is_bc);
+    Word target = {instr[8], instr[9], instr[10], instr[11],
+                   instr[12], instr[13], instr[14]};
+    Word pc_seq = cnf.mux(inc, target, redirect);
+    setWord(spec, "pc_q", cnf.mux(pc_seq, ret, t_ret));
+    setWord(spec, "ret_q", cnf.mux(ret, inc2, is_call));
+
+    auto cls = [&](const char *name, bool b7, bool b6,
+                   unsigned k) -> InstrClass {
+        return {name,
+                {{7, b7}, {6, b6}, {3, (k & 1) != 0},
+                 {4, (k & 2) != 0}, {5, (k & 4) != 0}},
+                {}};
+    };
+    spec.classes = {
+        cls("add", false, false, 0), cls("adc", false, false, 1),
+        cls("sub", false, false, 2), cls("swb", false, false, 3),
+        cls("and", false, false, 4), cls("or", false, false, 5),
+        cls("xor", false, false, 6), cls("xch", false, false, 7),
+        cls("addi", false, true, 0), cls("adci", false, true, 1),
+        cls("andi", false, true, 2), cls("ori", false, true, 3),
+        cls("xori", false, true, 4), cls("asri", false, true, 5),
+        cls("lsri", false, true, 6), cls("li", false, true, 7),
+        cls("load", true, false, 0), cls("store", true, false, 1),
+        cls("neg", true, false, 2), cls("ret", true, false, 3),
+        cls("asr", true, false, 4), cls("lsr", true, false, 5),
+        cls("t-invalid6", true, false, 6),
+        cls("t-invalid7", true, false, 7),
+        {"br", {{7, true}, {6, true}, {5, false}}, {}},
+        {"call", {{7, true}, {6, true}, {5, true}}, {}},
+        {"*", {}, {}},
+    };
+    return spec;
+}
+
+// ---------------------------------------------------------------
+// LoadStore4: the Section 6.2 two-address machine.
+
+/** op5 encodings (mirrors encoding_ls.cc). */
+enum : unsigned
+{
+    LS_ADD = 0, LS_ADC, LS_SUB, LS_SWB, LS_AND, LS_OR, LS_XOR,
+    LS_MOV, LS_NEG, LS_ASR, LS_LSR,
+    LS_ADDI, LS_ADCI, LS_ANDI, LS_ORI, LS_XORI, LS_MOVI,
+    LS_ASRI, LS_LSRI,
+    LS_BR, LS_CALL, LS_RET,
+};
+
+IsaSpec
+specLoadStore4(CnfBuilder &cnf, const IsaSpecInputs &in)
+{
+    const Word &instr = in.instr;
+    Word pc = stateWord(in, "pc_q", 7);
+    Word flags = stateWord(in, "flags", 4);
+    Word ret = stateWord(in, "ret_q", 7);
+    Word oport = stateWord(in, "oport_q", 4);
+    SatLit carry = stateBit(in, "carry");
+    std::vector<Word> words(8);
+    words[0] = in.iport;
+    words[1] = oport;
+    for (unsigned w = 2; w < 8; ++w)
+        words[w] = stateWord(in, "mem" + std::to_string(w) + "_", 4);
+
+    Word op5 = {instr[11], instr[12], instr[13], instr[14],
+                instr[15]};
+    auto hot = [&](unsigned k) { return cnf.equalsConst(op5, k); };
+    auto any = [&](std::initializer_list<unsigned> ops) {
+        std::vector<SatLit> lits;
+        for (unsigned o : ops)
+            lits.push_back(hot(o));
+        return cnf.mkOrN(lits);
+    };
+
+    SatLit is_imm = any({LS_ADDI, LS_ADCI, LS_ANDI, LS_ORI, LS_XORI,
+                         LS_MOVI, LS_ASRI, LS_LSRI});
+    SatLit is_arith = any({LS_ADD, LS_ADC, LS_SUB, LS_SWB, LS_ADDI,
+                           LS_ADCI});
+    SatLit use_cin = any({LS_ADC, LS_ADCI, LS_SWB});
+    SatLit is_sub_swb = any({LS_SUB, LS_SWB});
+    SatLit is_neg = hot(LS_NEG);
+    SatLit is_and = any({LS_AND, LS_ANDI});
+    SatLit is_or = any({LS_OR, LS_ORI});
+    SatLit is_xor = any({LS_XOR, LS_XORI});
+    SatLit is_mov = any({LS_MOV, LS_MOVI});
+    SatLit is_shift = any({LS_ASR, LS_LSR, LS_ASRI, LS_LSRI});
+    SatLit shift_arith = any({LS_ASR, LS_ASRI});
+    SatLit is_br = hot(LS_BR);
+    SatLit is_call = hot(LS_CALL);
+    SatLit is_ret = hot(LS_RET);
+    SatLit rd_we = any({LS_ADD, LS_ADC, LS_SUB, LS_SWB, LS_AND,
+                        LS_OR, LS_XOR, LS_MOV, LS_NEG, LS_ASR,
+                        LS_LSR, LS_ADDI, LS_ADCI, LS_ANDI, LS_ORI,
+                        LS_XORI, LS_MOVI, LS_ASRI, LS_LSRI});
+
+    Word rd_addr = {instr[8], instr[9], instr[10]};
+    Word rs_addr = {instr[5], instr[6], instr[7]};
+    Word rd_val = muxN(cnf, words, rd_addr);
+    Word rs_val = muxN(cnf, words, rs_addr);
+    Word imm = {instr[1], instr[2], instr[3], instr[4]};
+    Word b_op = cnf.mux(rs_val, imm, is_imm);
+
+    Word zero4 = cnf.constWord(0, 4);
+    Word x = cnf.mux(rd_val, zero4, is_neg);
+    Word y_src = cnf.mux(b_op, rd_val, is_neg);
+    SatLit invert = cnf.mkOr(is_sub_swb, is_neg);
+    Word y(4);
+    for (unsigned i = 0; i < 4; ++i)
+        y[i] = cnf.mkMux(y_src[i], ~y_src[i], invert);
+    SatLit force_cin = cnf.mkOr(hot(LS_SUB), is_neg);
+    SatLit cin = cnf.mkMux(cnf.mkAnd(use_cin, carry),
+                           cnf.constTrue(), force_cin);
+    SatLit cout;
+    Word sum = cnf.add(x, y, cin, &cout);
+
+    Word and_w(4);
+    Word or_w(4);
+    Word xor_w(4);
+    for (unsigned i = 0; i < 4; ++i) {
+        and_w[i] = cnf.mkAnd(rd_val[i], b_op[i]);
+        or_w[i] = cnf.mkOr(rd_val[i], b_op[i]);
+        xor_w[i] = cnf.mkXor(rd_val[i], b_op[i]);
+    }
+
+    Word amt_src = cnf.mux(rs_val, imm, is_imm);
+    Word amt = {amt_src[0], amt_src[1], amt_src[2]};
+    SatLit fill = cnf.mkAnd(shift_arith, rd_val[3]);
+    SatLit sh_c;
+    Word shift_w =
+        behavioralShift(cnf, rd_val, amt, fill, carry, &sh_c);
+
+    Word res = sum;
+    res = cnf.mux(res, and_w, is_and);
+    res = cnf.mux(res, or_w, is_or);
+    res = cnf.mux(res, xor_w, is_xor);
+    res = cnf.mux(res, shift_w, is_shift);
+    res = cnf.mux(res, b_op, is_mov);
+
+    SatLit amt_nz = cnf.mkOrN({amt[0], amt[1], amt[2]});
+    SatLit carry_we = cnf.mkOrN(
+        {is_arith, is_neg, cnf.mkAnd(is_shift, amt_nz)});
+    SatLit carry_next = cnf.mkMux(cout, sh_c, is_shift);
+
+    IsaSpec spec;
+    spec.nextState["carry"] =
+        cnf.mkMux(carry, carry_next, carry_we);
+    setWord(spec, "flags", cnf.mux(flags, res, rd_we));
+    setWord(spec, "oport_q",
+            cnf.mux(oport, res,
+                    cnf.mkAnd(cnf.equalsConst(rd_addr, 1), rd_we)));
+    for (unsigned w = 2; w < 8; ++w)
+        setWord(spec, "mem" + std::to_string(w) + "_",
+                cnf.mux(words[w], res,
+                        cnf.mkAnd(cnf.equalsConst(rd_addr, w),
+                                  rd_we)));
+
+    SatLit n_flag = flags[3];
+    SatLit z_flag = cnf.norReduce(flags);
+    SatLit p_flag = cnf.mkAnd(~n_flag, ~z_flag);
+    SatLit cond = cnf.mkOrN({cnf.mkAnd(instr[10], n_flag),
+                             cnf.mkAnd(instr[9], z_flag),
+                             cnf.mkAnd(instr[8], p_flag)});
+    SatLit redirect = cnf.mkOr(cnf.mkAnd(is_br, cond), is_call);
+    Word inc = increment(cnf, pc);
+    Word target = {instr[0], instr[1], instr[2], instr[3],
+                   instr[4], instr[5], instr[6]};
+    Word pc_seq = cnf.mux(inc, target, redirect);
+    setWord(spec, "pc_q", cnf.mux(pc_seq, ret, is_ret));
+    setWord(spec, "ret_q", cnf.mux(ret, inc, is_call));
+
+    auto cls = [&](const char *name, unsigned op) -> InstrClass {
+        InstrClass c;
+        c.name = name;
+        for (unsigned b = 0; b < 5; ++b)
+            c.instrBits.emplace_back(11 + b, (op >> b) & 1u);
+        return c;
+    };
+    spec.classes = {
+        cls("add", LS_ADD), cls("adc", LS_ADC), cls("sub", LS_SUB),
+        cls("swb", LS_SWB), cls("and", LS_AND), cls("or", LS_OR),
+        cls("xor", LS_XOR), cls("mov", LS_MOV), cls("neg", LS_NEG),
+        cls("asr", LS_ASR), cls("lsr", LS_LSR),
+        cls("addi", LS_ADDI), cls("adci", LS_ADCI),
+        cls("andi", LS_ANDI), cls("ori", LS_ORI),
+        cls("xori", LS_XORI), cls("movi", LS_MOVI),
+        cls("asri", LS_ASRI), cls("lsri", LS_LSRI),
+        cls("br", LS_BR), cls("call", LS_CALL), cls("ret", LS_RET),
+        {"*", {}, {}},
+    };
+    return spec;
+}
+
+} // namespace
+
+unsigned
+isaInstrWidth(IsaKind kind)
+{
+    switch (kind) {
+      case IsaKind::FlexiCore4:
+      case IsaKind::FlexiCore8:
+        return 8;
+      case IsaKind::ExtAcc4:
+      case IsaKind::LoadStore4:
+        return 16;
+    }
+    panic("isaInstrWidth: bad IsaKind");
+}
+
+IsaSpec
+buildIsaSpec(CnfBuilder &cnf, IsaKind kind, const IsaSpecInputs &in)
+{
+    switch (kind) {
+      case IsaKind::FlexiCore4: return specFc4(cnf, in);
+      case IsaKind::FlexiCore8: return specFc8(cnf, in);
+      case IsaKind::ExtAcc4: return specExtAcc4(cnf, in);
+      case IsaKind::LoadStore4: return specLoadStore4(cnf, in);
+    }
+    panic("buildIsaSpec: bad IsaKind");
+}
+
+} // namespace flexi

@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Behavioral next-state specifications of the four cores, as CNF
+ * circuits.
+ *
+ * buildIsaSpec() constructs, over a CnfBuilder, the architectural
+ * next-state function of one ISA: given literals for the instruction
+ * bus, the input port, and every named state bit (accumulator, PC,
+ * memory words, carry, return register, flags, the FC8 LOAD BYTE
+ * flag), it returns one literal per state bit describing its value
+ * after the clock edge. The construction follows the ISA semantics
+ * of src/sim/core_sim.cc (word-level adds, muxes, one-hot decode) —
+ * deliberately *not* the gate netlists — so a miter against a
+ * netlist's DFF D cones is a real two-sided equivalence check.
+ *
+ * Each spec also carries its instruction-class table: assumption
+ * sets that pin opcode bits (and, for FC8, the LOAD BYTE flag) so
+ * the checker can prove the miter one instruction at a time and
+ * report which instruction a mismatch belongs to. The final "*"
+ * class pins nothing and proves the whole input space at once.
+ */
+
+#ifndef FLEXI_ANALYSIS_ISA_SPEC_HH
+#define FLEXI_ANALYSIS_ISA_SPEC_HH
+
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "analysis/cnf_encoder.hh"
+#include "isa/isa.hh"
+
+namespace flexi
+{
+
+/** One instruction class: assumption bits pinned during its solve. */
+struct InstrClass
+{
+    std::string name;
+    /** (instruction bit index, pinned value). */
+    std::vector<std::pair<unsigned, bool>> instrBits;
+    /** (state net label, pinned value) — e.g. {"ldb_flag", false}. */
+    std::vector<std::pair<std::string, bool>> stateBits;
+};
+
+/** What the spec circuit reads. */
+struct IsaSpecInputs
+{
+    CnfBuilder::Word instr;   ///< LSB first
+    CnfBuilder::Word iport;
+    /** Current-state literal per state net label. */
+    std::map<std::string, SatLit> state;
+};
+
+/** The spec circuit: next-state literal per state net label. */
+struct IsaSpec
+{
+    std::map<std::string, SatLit> nextState;
+    std::vector<InstrClass> classes;
+};
+
+/** Instruction bus width of a core's netlist (8 or 16). */
+unsigned isaInstrWidth(IsaKind kind);
+
+IsaSpec buildIsaSpec(CnfBuilder &cnf, IsaKind kind,
+                     const IsaSpecInputs &in);
+
+} // namespace flexi
+
+#endif // FLEXI_ANALYSIS_ISA_SPEC_HH

@@ -333,6 +333,7 @@ lintNetlist(const Netlist &nl)
     checkFanout(nl, rep);
     checkDeadLogic(nl, rep);
     checkConstOutputs(nl, rep);
+    rep.resolveNetNames(nl);
     return rep;
 }
 

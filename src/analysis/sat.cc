@@ -1,0 +1,415 @@
+#include "sat.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace flexi
+{
+
+SatVar
+SatSolver::newVar()
+{
+    SatVar v = numVars();
+    assign_.push_back(kUnassigned);
+    phase_.push_back(1);   // prefer false first, like MiniSat
+    reason_.push_back(kNoReason);
+    level_.push_back(0);
+    activity_.push_back(0.0);
+    seen_.push_back(0);
+    watches_.emplace_back();
+    watches_.emplace_back();
+    heapInsert(v);
+    return v;
+}
+
+// ---------------------------------------------------------------
+// Activity-ordered decision heap (max-heap keyed by activity_).
+
+void
+SatSolver::heapInsert(SatVar v)
+{
+    if (static_cast<size_t>(v) >= heapPos_.size())
+        heapPos_.resize(v + 1, -1);
+    if (heapPos_[v] >= 0)
+        return;
+    heapPos_[v] = static_cast<int>(heap_.size());
+    heap_.push_back(v);
+    heapSiftUp(heapPos_[v]);
+}
+
+void
+SatSolver::heapSwap(int i, int j)
+{
+    std::swap(heap_[i], heap_[j]);
+    heapPos_[heap_[i]] = i;
+    heapPos_[heap_[j]] = j;
+}
+
+void
+SatSolver::heapSiftUp(int i)
+{
+    while (i > 0) {
+        int parent = (i - 1) / 2;
+        if (activity_[heap_[parent]] >= activity_[heap_[i]])
+            break;
+        heapSwap(i, parent);
+        i = parent;
+    }
+}
+
+void
+SatSolver::heapSiftDown(int i)
+{
+    int n = static_cast<int>(heap_.size());
+    for (;;) {
+        int best = i;
+        int l = 2 * i + 1;
+        int r = 2 * i + 2;
+        if (l < n && activity_[heap_[l]] > activity_[heap_[best]])
+            best = l;
+        if (r < n && activity_[heap_[r]] > activity_[heap_[best]])
+            best = r;
+        if (best == i)
+            return;
+        heapSwap(i, best);
+        i = best;
+    }
+}
+
+SatVar
+SatSolver::heapPopMax()
+{
+    while (!heap_.empty()) {
+        SatVar v = heap_[0];
+        heapPos_[v] = -1;
+        heap_[0] = heap_.back();
+        heap_.pop_back();
+        if (!heap_.empty()) {
+            heapPos_[heap_[0]] = 0;
+            heapSiftDown(0);
+        }
+        if (assign_[v] == kUnassigned)
+            return v;
+    }
+    return -1;
+}
+
+void
+SatSolver::bumpVar(SatVar v)
+{
+    activity_[v] += varInc_;
+    if (activity_[v] > 1e100) {
+        for (double &a : activity_)
+            a *= 1e-100;
+        varInc_ *= 1e-100;
+    }
+    if (heapPos_[v] >= 0)
+        heapSiftUp(heapPos_[v]);
+}
+
+void
+SatSolver::decayActivities()
+{
+    varInc_ *= (1.0 / 0.95);
+}
+
+// ---------------------------------------------------------------
+
+void
+SatSolver::attachClause(int ci)
+{
+    const auto &cl = clauses_[ci];
+    watches_[cl[0].code].push_back({ci, cl[1]});
+    watches_[cl[1].code].push_back({ci, cl[0]});
+}
+
+bool
+SatSolver::addClause(std::vector<SatLit> lits)
+{
+    if (unsat_)
+        return false;
+    backtrack(0);
+
+    std::sort(lits.begin(), lits.end(),
+              [](SatLit a, SatLit b) { return a.code < b.code; });
+    std::vector<SatLit> cl;
+    for (SatLit l : lits) {
+        if (l.var() < 0 || l.var() >= numVars())
+            panic("addClause: literal over unknown variable");
+        if (!cl.empty() && cl.back() == l)
+            continue;   // duplicate
+        if (!cl.empty() && cl.back() == ~l)
+            return true;   // tautology: l or ~l
+        if (litTrue(l))
+            return true;   // satisfied at root
+        if (litFalse(l))
+            continue;      // falsified at root: drop literal
+        cl.push_back(l);
+    }
+
+    if (cl.empty()) {
+        unsat_ = true;
+        return false;
+    }
+    if (cl.size() == 1) {
+        enqueue(cl[0], kNoReason);
+        if (propagate() != kNoReason) {
+            unsat_ = true;
+            return false;
+        }
+        return true;
+    }
+    clauses_.push_back(std::move(cl));
+    attachClause(static_cast<int>(clauses_.size()) - 1);
+    return true;
+}
+
+void
+SatSolver::enqueue(SatLit l, int reason)
+{
+    SatVar v = l.var();
+    assign_[v] = l.negated() ? kFalse : kTrue;
+    reason_[v] = reason;
+    level_[v] = static_cast<int>(trailLim_.size());
+    trail_.push_back(l);
+    ++stats_.propagations;
+}
+
+int
+SatSolver::propagate()
+{
+    while (qhead_ < trail_.size()) {
+        SatLit p = trail_[qhead_++];
+        SatLit np = ~p;   // now false
+        auto &ws = watches_[np.code];
+        size_t i = 0;
+        size_t j = 0;
+        while (i < ws.size()) {
+            Watcher w = ws[i++];
+            if (litTrue(w.blocker)) {
+                ws[j++] = w;
+                continue;
+            }
+            auto &cl = clauses_[w.clause];
+            // Normalize: the false literal sits at cl[1].
+            if (cl[0] == np)
+                std::swap(cl[0], cl[1]);
+            if (litTrue(cl[0])) {
+                ws[j++] = {w.clause, cl[0]};
+                continue;
+            }
+            // Look for a replacement watch.
+            bool moved = false;
+            for (size_t k = 2; k < cl.size(); ++k) {
+                if (!litFalse(cl[k])) {
+                    std::swap(cl[1], cl[k]);
+                    watches_[cl[1].code].push_back(
+                        {w.clause, cl[0]});
+                    moved = true;
+                    break;
+                }
+            }
+            if (moved)
+                continue;
+            // Unit or conflicting.
+            ws[j++] = {w.clause, cl[0]};
+            if (litFalse(cl[0])) {
+                // Conflict: keep remaining watchers, flush queue.
+                while (i < ws.size())
+                    ws[j++] = ws[i++];
+                ws.resize(j);
+                qhead_ = trail_.size();
+                return w.clause;
+            }
+            enqueue(cl[0], w.clause);
+        }
+        ws.resize(j);
+    }
+    return kNoReason;
+}
+
+void
+SatSolver::analyze(int confl, std::vector<SatLit> &learned,
+                   int &backtrack_level)
+{
+    learned.clear();
+    learned.push_back(SatLit{});   // slot for the asserting 1UIP lit
+
+    int path = 0;
+    SatLit p;
+    bool have_p = false;
+    size_t index = trail_.size();
+    int current = static_cast<int>(trailLim_.size());
+    int c = confl;
+
+    do {
+        const auto &cl = clauses_[c];
+        for (size_t k = have_p ? 1 : 0; k < cl.size(); ++k) {
+            SatLit q = cl[k];
+            SatVar v = q.var();
+            if (seen_[v] || level_[v] == 0)
+                continue;
+            seen_[v] = 1;
+            bumpVar(v);
+            if (level_[v] >= current)
+                ++path;
+            else
+                learned.push_back(q);
+        }
+        // Walk the trail back to the next marked literal.
+        do {
+            --index;
+        } while (!seen_[trail_[index].var()]);
+        p = trail_[index];
+        have_p = true;
+        c = reason_[p.var()];
+        seen_[p.var()] = 0;
+        --path;
+    } while (path > 0);
+    learned[0] = ~p;
+
+    if (learned.size() == 1) {
+        backtrack_level = 0;
+    } else {
+        // Second-highest decision level in the clause becomes the
+        // backjump target; keep a literal of that level at slot 1
+        // so it stays watched.
+        size_t best = 1;
+        for (size_t k = 2; k < learned.size(); ++k)
+            if (level_[learned[k].var()] >
+                level_[learned[best].var()])
+                best = k;
+        std::swap(learned[1], learned[best]);
+        backtrack_level = level_[learned[1].var()];
+    }
+    for (size_t k = 1; k < learned.size(); ++k)
+        seen_[learned[k].var()] = 0;
+}
+
+void
+SatSolver::backtrack(int level)
+{
+    if (static_cast<int>(trailLim_.size()) <= level)
+        return;
+    size_t keep = trailLim_[level];
+    for (size_t k = trail_.size(); k > keep; --k) {
+        SatVar v = trail_[k - 1].var();
+        phase_[v] = assign_[v];
+        assign_[v] = kUnassigned;
+        reason_[v] = kNoReason;
+        heapInsert(v);
+    }
+    trail_.resize(keep);
+    trailLim_.resize(level);
+    qhead_ = trail_.size();
+}
+
+SatVar
+SatSolver::pickBranchVar()
+{
+    return heapPopMax();
+}
+
+uint64_t
+SatSolver::luby(uint64_t i)
+{
+    // The reluctant-doubling sequence 1 1 2 1 1 2 4 ...
+    uint64_t k = 1;
+    while ((1ull << (k + 1)) - 1 <= i + 1)
+        ++k;
+    while ((1ull << k) - 1 != i + 1) {
+        i -= (1ull << k) - 1;
+        k = 1;
+        while ((1ull << (k + 1)) - 1 <= i + 1)
+            ++k;
+    }
+    return 1ull << (k - 1);
+}
+
+SatSolver::Result
+SatSolver::solve(const std::vector<SatLit> &assumptions)
+{
+    if (unsat_)
+        return Result::Unsat;
+    backtrack(0);
+    if (propagate() != kNoReason) {
+        unsat_ = true;
+        return Result::Unsat;
+    }
+
+    std::vector<SatLit> learned;
+    uint64_t budget = 100 * luby(stats_.restarts);
+
+    for (;;) {
+        int confl = propagate();
+        if (confl != kNoReason) {
+            ++stats_.conflicts;
+            if (trailLim_.empty()) {
+                unsat_ = true;
+                return Result::Unsat;
+            }
+            int bt = 0;
+            analyze(confl, learned, bt);
+            backtrack(bt);
+            if (learned.size() == 1) {
+                enqueue(learned[0], kNoReason);
+            } else {
+                clauses_.push_back(learned);
+                int ci = static_cast<int>(clauses_.size()) - 1;
+                attachClause(ci);
+                enqueue(learned[0], ci);
+            }
+            decayActivities();
+            if (budget > 0)
+                --budget;
+            continue;
+        }
+
+        if (budget == 0 && !trailLim_.empty()) {
+            ++stats_.restarts;
+            budget = 100 * luby(stats_.restarts);
+            backtrack(0);
+            continue;
+        }
+
+        // Place pending assumptions as pseudo-decisions, then make a
+        // real decision.
+        SatLit next;
+        bool have_next = false;
+        while (trailLim_.size() < assumptions.size()) {
+            SatLit a = assumptions[trailLim_.size()];
+            if (litTrue(a)) {
+                trailLim_.push_back(trail_.size());
+            } else if (litFalse(a)) {
+                return Result::Unsat;
+            } else {
+                next = a;
+                have_next = true;
+                break;
+            }
+        }
+        if (!have_next) {
+            SatVar v = pickBranchVar();
+            if (v < 0) {
+                model_.assign(assign_.begin(), assign_.end());
+                return Result::Sat;
+            }
+            ++stats_.decisions;
+            next = SatLit::make(v, phase_[v] != kTrue);
+            have_next = true;
+        }
+        trailLim_.push_back(trail_.size());
+        enqueue(next, kNoReason);
+    }
+}
+
+bool
+SatSolver::modelValue(SatVar v) const
+{
+    if (v < 0 || static_cast<size_t>(v) >= model_.size())
+        panic("modelValue: no model for variable %d", v);
+    return model_[v] == kTrue;
+}
+
+} // namespace flexi

@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Path-level static timing analysis.
+ *
+ * Netlist::criticalPathDelayUnits() answers "how slow"; this pass
+ * answers "why": it enumerates the top-K critical paths as named net
+ * sequences with per-cell delay contributions, classifies every
+ * endpoint (DFF setup, primary output, or a floating sinkless cone),
+ * and converts delay units into slack against the 12.5 kHz system
+ * clock at a chosen supply voltage through the technology model.
+ *
+ * The arrival computation walks the compiled plan in the same order
+ * and with the same arithmetic as criticalPathDelayUnits(), so the
+ * worst path here equals that number exactly (not approximately).
+ *
+ * This is the structural explanation of the paper's Section 4.1
+ * observation that FlexiCore8 yield collapses at 3 V: its worst
+ * register-to-register path (through the LOAD BYTE squash logic and
+ * the 8-bit ripple ALU) is ~10 delay units longer than FlexiCore4's,
+ * which puts it past the 80 us clock period once the unit delay
+ * stretches to 2.77 us at 3 V — negative slack, while the same path
+ * has ~9 us of margin at 4.5 V.
+ */
+
+#ifndef FLEXI_ANALYSIS_TIMING_HH
+#define FLEXI_ANALYSIS_TIMING_HH
+
+#include <string>
+#include <vector>
+
+#include "analysis/diagnostics.hh"
+#include "netlist/netlist.hh"
+#include "tech/technology.hh"
+
+namespace flexi
+{
+
+/** What terminates a timing path. */
+enum class EndpointKind
+{
+    DffSetup,        ///< D input of a flip-flop (plus its capture delay)
+    PrimaryOutput,   ///< an output pad
+    Floating,        ///< a sinkless combinational cone (unconstrained)
+};
+
+const char *endpointKindName(EndpointKind kind);
+
+/** One cell hop along a path. */
+struct TimingStep
+{
+    NetId net = kNoNet;     ///< the cell's output net
+    std::string name;       ///< stable net name
+    std::string module;
+    double cellDelay = 0.0;
+    double arrival = 0.0;   ///< cumulative, in delay units
+};
+
+/** One register-to-register / register-to-output path. */
+struct TimingPath
+{
+    double delayUnits = 0.0;
+    EndpointKind endpoint = EndpointKind::DffSetup;
+    std::string startName;   ///< launching input / state bit
+    std::string endName;     ///< capturing state bit / output
+    /** Hops from the first cell after the start to the endpoint. */
+    std::vector<TimingStep> steps;
+
+    /** "pc_q2 -> ... -> pc_q3 (37.00 units via 14 cells)". */
+    std::string text() const;
+};
+
+struct TimingReport
+{
+    std::string netlist;
+    /** Worst-first, at most the requested K. */
+    std::vector<TimingPath> paths;
+
+    double worstDelayUnits() const
+    {
+        return paths.empty() ? 0.0 : paths.front().delayUnits;
+    }
+};
+
+/**
+ * Enumerate the @p top_k worst paths of an elaborated netlist. Each
+ * timed endpoint (DFF, primary output) contributes its single worst
+ * path; floating cones are reported so they can be flagged as
+ * unconstrained.
+ */
+TimingReport analyzeTiming(const Netlist &nl, unsigned top_k = 8);
+
+/**
+ * Render a timing report as diagnostics against the system clock:
+ *  - "timing-violation" (Error): a timed path's delay at @p vdd
+ *    exceeds the clock period (negative slack);
+ *  - "critical-path" (Note): a timed path with non-negative slack;
+ *  - "unconstrained-path" (Warning): a floating endpoint among the
+ *    top-K — logic whose delay no clock constraint checks.
+ */
+LintReport timingLint(const Netlist &nl, const Technology &tech,
+                      double vdd, unsigned top_k = 8,
+                      double clock_hz = kClockHz);
+
+} // namespace flexi
+
+#endif // FLEXI_ANALYSIS_TIMING_HH

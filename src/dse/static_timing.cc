@@ -1,0 +1,60 @@
+#include "static_timing.hh"
+
+#include "analysis/timing.hh"
+#include "dse/area_model.hh"
+#include "netlist/flexicore_netlist.hh"
+
+namespace flexi
+{
+
+namespace
+{
+
+/**
+ * The structural netlist backing a design point, if we build one:
+ * the single-cycle wide-bus machines (the base FlexiCore4, the
+ * revised accumulator core, the revised load-store core).
+ */
+std::unique_ptr<Netlist>
+structuralNetlistOf(const DesignPoint &point)
+{
+    if (point.uarch != MicroArch::SingleCycle ||
+        point.bus != BusWidth::Wide)
+        return nullptr;
+    if (point.operands == OperandModel::Accumulator) {
+        if (point.features == IsaFeatures::none())
+            return buildFlexiCore4Netlist();
+        if (point.features == IsaFeatures::revised())
+            return buildExtAcc4Netlist();
+        return nullptr;
+    }
+    if (point.features == IsaFeatures::revised())
+        return buildLoadStore4Netlist();
+    return nullptr;
+}
+
+} // namespace
+
+StaticTimingCheck
+checkDesignPointTiming(const DesignPoint &point, double vdd,
+                       double clock_hz)
+{
+    StaticTimingCheck check;
+    if (auto nl = structuralNetlistOf(point)) {
+        TimingReport tr = analyzeTiming(*nl, 1);
+        check.delayUnits = tr.worstDelayUnits();
+        check.source = "netlist";
+        if (!tr.paths.empty())
+            check.worstPath = tr.paths.front().text();
+    } else {
+        check.delayUnits = critPathUnitsOf(point);
+        check.source = "model";
+    }
+    Technology tech;
+    check.slackS = 1.0 / clock_hz -
+                   check.delayUnits * tech.unitDelay(vdd);
+    check.feasible = check.slackS >= 0.0;
+    return check;
+}
+
+} // namespace flexi

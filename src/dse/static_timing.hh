@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Static timing feasibility gate for the design-space sweep.
+ *
+ * Before a design point is simulated (thousands of kernel cycles),
+ * check statically whether its worst combinational path even fits
+ * the clock period at the sweep's operating voltage. Points with a
+ * structural netlist (the single-cycle wide-bus cores we actually
+ * build) are checked with the real path-level STA; the rest fall
+ * back to the calibrated analytic critical-path model.
+ *
+ * At the nominal 4.5 V every candidate fits with margin; at the 3 V
+ * low-voltage corner the slower points (the load-store machines and
+ * the single-cycle accumulator cores) blow through the 80 us period
+ * and are rejected without burning any simulation time — the DSE
+ * analogue of the paper's FlexiCore8 3 V yield cliff.
+ */
+
+#ifndef FLEXI_DSE_STATIC_TIMING_HH
+#define FLEXI_DSE_STATIC_TIMING_HH
+
+#include <string>
+
+#include "dse/design_point.hh"
+#include "tech/technology.hh"
+
+namespace flexi
+{
+
+/** Outcome of the static feasibility check for one design point. */
+struct StaticTimingCheck
+{
+    double delayUnits = 0.0;
+    /** Seconds of slack against the clock period (negative = miss). */
+    double slackS = 0.0;
+    bool feasible = false;
+    /** "netlist" (real STA) or "model" (analytic estimate). */
+    const char *source = "model";
+    /** Named worst path when a structural netlist backs the point. */
+    std::string worstPath;
+};
+
+/**
+ * Check @p point against the clock at supply @p vdd. Uses the real
+ * netlist STA when the point corresponds to a structural netlist,
+ * the analytic critPathUnitsOf() model otherwise.
+ */
+StaticTimingCheck checkDesignPointTiming(const DesignPoint &point,
+                                         double vdd,
+                                         double clock_hz = kClockHz);
+
+} // namespace flexi
+
+#endif // FLEXI_DSE_STATIC_TIMING_HH

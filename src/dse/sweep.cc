@@ -51,9 +51,10 @@ candidateFeatureSets()
 
 } // namespace
 
-std::vector<SweepCandidate>
-sweepDesignSpace(const SweepConfig &cfg)
+SweepResult
+runSweep(const SweepConfig &cfg)
 {
+    SweepResult result;
     // Suite-average baseline energy (the normalization denominator);
     // computed once up front, in parallel over kernels.
     std::vector<double> base_by_kernel(kNumKernels, 0.0);
@@ -85,6 +86,15 @@ sweepDesignSpace(const SweepConfig &cfg)
                 if (om == OperandModel::LoadStore &&
                     !(f == IsaFeatures::revised()))
                     continue;
+                // Static timing gate: a point whose worst path
+                // cannot close the clock at the operating voltage
+                // is rejected before any simulation is spent on it.
+                StaticTimingCheck timing = checkDesignPointTiming(
+                    c.point, cfg.vddOperating);
+                if (!timing.feasible) {
+                    result.rejected.push_back({c.point, timing});
+                    continue;
+                }
                 all.push_back(c);
             }
         }
@@ -125,7 +135,14 @@ sweepDesignSpace(const SweepConfig &cfg)
             if (other.dominates(c))
                 c.pareto = false;
     }
-    return all;
+    result.candidates = std::move(all);
+    return result;
+}
+
+std::vector<SweepCandidate>
+sweepDesignSpace(const SweepConfig &cfg)
+{
+    return runSweep(cfg).candidates;
 }
 
 } // namespace flexi

@@ -18,6 +18,8 @@
 #include <vector>
 
 #include "dse/design_point.hh"
+#include "dse/static_timing.hh"
+#include "tech/technology.hh"
 
 namespace flexi
 {
@@ -46,14 +48,41 @@ struct SweepConfig
     /** Worker threads: 0 = auto, 1 = single-threaded. Results are
      *  bit-identical for any value. */
     unsigned threads = 0;
+    /**
+     * Supply voltage the candidates must close timing at. Points
+     * whose worst path misses the clock period at this supply are
+     * rejected statically (never simulated) and reported in
+     * SweepResult::rejected. At the default nominal 4.5 V every
+     * candidate fits; sweeping at kVddLow reproduces the paper's
+     * low-voltage feasibility cliff.
+     */
+    double vddOperating = kVddNominal;
+};
+
+/** A design point the static timing gate refused to simulate. */
+struct RejectedPoint
+{
+    DesignPoint point;
+    StaticTimingCheck timing;
+};
+
+/** Evaluated candidates plus the statically rejected points. */
+struct SweepResult
+{
+    std::vector<SweepCandidate> candidates;
+    std::vector<RejectedPoint> rejected;
 };
 
 /**
  * Evaluate the paper's candidate feature sets across both operand
- * models and all three microarchitectures (wide bus). Returns the
- * feasible candidates in a deterministic enumeration order, with
- * the Pareto frontier marked.
+ * models and all three microarchitectures (wide bus). Candidates
+ * that fail static timing at cfg.vddOperating are rejected without
+ * simulation; the rest are evaluated and returned in a
+ * deterministic enumeration order with the Pareto frontier marked.
  */
+SweepResult runSweep(const SweepConfig &cfg);
+
+/** runSweep() without the rejection report (legacy shape). */
 std::vector<SweepCandidate> sweepDesignSpace(const SweepConfig &cfg);
 
 } // namespace flexi

@@ -231,6 +231,19 @@ buildExtAcc4Netlist()
     for (unsigned i = 0; i < W; ++i)
         nl->addOutput("oport" + std::to_string(i), oport_pad[i]);
 
+    // Stable architectural-state labels (see FlexiCore4).
+    auto label = [&](const Word &w, const std::string &prefix) {
+        for (unsigned i = 0; i < w.size(); ++i)
+            nl->nameNet(w[i], prefix + std::to_string(i));
+    };
+    label(pc, "pc_q");
+    label(acc, "acc");
+    label(oport, "oport_q");
+    for (unsigned w = 2; w < NWORDS; ++w)
+        label(words[w], "mem" + std::to_string(w) + "_");
+    nl->nameNet(carry, "carry");
+    label(ret, "ret_q");
+
     nl->elaborate();
     return nl;
 }

@@ -211,6 +211,19 @@ buildLoadStore4Netlist()
     for (unsigned i = 0; i < W; ++i)
         nl->addOutput("oport" + std::to_string(i), oport_pad[i]);
 
+    // Stable architectural-state labels (see FlexiCore4).
+    auto label = [&](const Word &w, const std::string &prefix) {
+        for (unsigned i = 0; i < w.size(); ++i)
+            nl->nameNet(w[i], prefix + std::to_string(i));
+    };
+    label(pc, "pc_q");
+    label(flags_val, "flags");
+    label(oport, "oport_q");
+    for (unsigned w = 2; w < NWORDS; ++w)
+        label(words[w], "mem" + std::to_string(w) + "_");
+    nl->nameNet(carry, "carry");
+    label(ret, "ret_q");
+
     nl->elaborate();
     return nl;
 }

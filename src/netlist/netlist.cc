@@ -224,6 +224,33 @@ Netlist::rewireCellOutput(size_t cell, NetId net)
     s_->cells[cell].output = net;
 }
 
+void
+Netlist::nameNet(NetId net, const std::string &name)
+{
+    checkElaborated(false);
+    if (net >= s_->nextNet)
+        panic("nameNet: bad net %u", net);
+    auto [it, inserted] = s_->labelToNet.emplace(name, net);
+    if (!inserted)
+        panic("duplicate net label '%s'", name.c_str());
+    if (!s_->netLabels.emplace(net, name).second)
+        panic("net %u already labeled '%s'", net,
+              s_->netLabels.at(net).c_str());
+}
+
+NetId
+Netlist::findNet(const std::string &name) const
+{
+    if (auto it = s_->labelToNet.find(name);
+        it != s_->labelToNet.end())
+        return it->second;
+    if (auto it = s_->inputs.find(name); it != s_->inputs.end())
+        return it->second;
+    if (auto it = s_->outputs.find(name); it != s_->outputs.end())
+        return it->second;
+    return kNoNet;
+}
+
 std::string
 Netlist::netName(NetId net) const
 {
@@ -239,7 +266,45 @@ Netlist::netName(NetId net) const
     for (const auto &[name, n] : s_->outputs)
         if (n == net)
             return name;
+    if (auto it = s_->netLabels.find(net); it != s_->netLabels.end())
+        return it->second;
     return strfmt("n%u", net);
+}
+
+std::vector<Netlist::PlanStep>
+Netlist::planSteps() const
+{
+    checkElaborated(true);
+    const EvalPlan &plan = s_->plan;
+    std::vector<PlanStep> steps(plan.out.size());
+    for (size_t i = 0; i < steps.size(); ++i) {
+        steps[i].in = {plan.in[3 * i], plan.in[3 * i + 1],
+                       plan.in[3 * i + 2]};
+        steps[i].out = plan.out[i];
+        steps[i].lut = plan.lut[i];
+        steps[i].cell = plan.cell[i];
+    }
+    return steps;
+}
+
+NetId
+Netlist::scratchNet() const
+{
+    return s_->nextNet;
+}
+
+std::vector<Netlist::DffInfo>
+Netlist::dffs() const
+{
+    std::vector<DffInfo> out(s_->dffCells.size());
+    for (size_t i = 0; i < out.size(); ++i) {
+        size_t idx = s_->dffCells[i];
+        out[i].d = s_->cells[idx].inputs[0];
+        out[i].q = s_->cells[idx].output;
+        out[i].cell = static_cast<uint32_t>(idx);
+        out[i].init = s_->dffInit[i] != 0;
+    }
+    return out;
 }
 
 std::vector<NetId>

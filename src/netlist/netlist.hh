@@ -41,6 +41,7 @@
 #ifndef FLEXI_NETLIST_NETLIST_HH
 #define FLEXI_NETLIST_NETLIST_HH
 
+#include <array>
 #include <cstdint>
 #include <map>
 #include <memory>
@@ -141,6 +142,21 @@ class Netlist
                  bool x2 = false);
     /** Re-wire a DFF's D input (for feedback loops built late). */
     void setDffInput(NetId q, NetId d);
+
+    /**
+     * Attach a stable label to a net. Builders label architectural
+     * state (accumulator, PC, memory words, flags) and other nets of
+     * interest; labels feed netName(), the lint reports, and the
+     * formal checker's state correspondence, and survive clone()
+     * (the table lives in the shared structure). One label per net,
+     * one net per label.
+     */
+    void nameNet(NetId net, const std::string &name);
+    /**
+     * Net carrying the given name — a label, primary input, or
+     * primary output — or kNoNet when nothing matches.
+     */
+    NetId findNet(const std::string &name) const;
 
     /**
      * Netlist surgery: repoint one input (or the output) of an
@@ -250,6 +266,37 @@ class Netlist
     /** Longest input/Q -> output/D path, in delay units. */
     double criticalPathDelayUnits() const;
 
+    /**
+     * One step of the compiled evaluation plan. Unused input slots
+     * hold scratchNet(), which always reads 0; the truth-table bit
+     * for inputs (i0, i1, i2) is bit (i0 | i1<<1 | i2<<2) of lut.
+     */
+    struct PlanStep
+    {
+        std::array<NetId, 3> in;
+        NetId out;
+        uint8_t lut;
+        uint32_t cell;   ///< original cell index
+    };
+    /**
+     * The compiled combinational plan in execution order. Valid only
+     * after elaborate(). This is the artifact the formal checker
+     * proves equivalent to the CellInst-level reference semantics.
+     */
+    std::vector<PlanStep> planSteps() const;
+    /** The always-zero scratch net padding unused plan slots. */
+    NetId scratchNet() const;
+
+    /** One DFF, in commit (construction) order. */
+    struct DffInfo
+    {
+        NetId d;
+        NetId q;
+        uint32_t cell;   ///< cell index
+        bool init;       ///< power-on value
+    };
+    std::vector<DffInfo> dffs() const;
+
     /** Total output toggles per cell since last resetToggles(). */
     const std::vector<uint64_t> &toggleCounts() const;
     void resetToggles();
@@ -288,6 +335,9 @@ class Netlist
         NetId one = kNoNet;
         std::map<std::string, NetId> inputs;
         std::map<std::string, NetId> outputs;
+        /** Stable net labels (see nameNet()). */
+        std::map<NetId, std::string> netLabels;
+        std::map<std::string, NetId> labelToNet;
         /** DFF bookkeeping: cell index and power-on value. */
         std::vector<size_t> dffCells;
         std::vector<uint8_t> dffInit;

@@ -475,5 +475,63 @@ TEST(Sweep, ThreadCountDoesNotChangeResults)
     }
 }
 
+TEST(Sweep, NominalVoltageRejectsNothing)
+{
+    SweepConfig cfg;
+    cfg.workUnits = 2;
+    cfg.threads = 1;
+    SweepResult result = runSweep(cfg);
+    EXPECT_TRUE(result.rejected.empty());
+    EXPECT_FALSE(result.candidates.empty());
+    for (const auto &c : result.candidates) {
+        StaticTimingCheck t =
+            checkDesignPointTiming(c.point, cfg.vddOperating);
+        EXPECT_TRUE(t.feasible) << c.point.name();
+        EXPECT_GE(t.slackS, 0.0);
+    }
+}
+
+TEST(Sweep, LowVoltageStaticallyRejectsSlowPoints)
+{
+    SweepConfig cfg;
+    cfg.workUnits = 2;
+    cfg.threads = 1;
+    cfg.vddOperating = kVddLow;
+    SweepResult result = runSweep(cfg);
+
+    // The timing gate must reject at least one design point at 3 V:
+    // the slow single-cycle machines blow the 80 us period once the
+    // unit delay stretches, exactly like the FlexiCore8 3 V cliff.
+    ASSERT_FALSE(result.rejected.empty());
+    for (const auto &r : result.rejected) {
+        EXPECT_FALSE(r.timing.feasible);
+        EXPECT_LT(r.timing.slackS, 0.0);
+        EXPECT_GT(r.timing.delayUnits, 0.0);
+        // Netlist-backed rejections carry a named worst path.
+        if (std::string(r.timing.source) == "netlist")
+            EXPECT_FALSE(r.timing.worstPath.empty());
+    }
+
+    // Points backed by real netlists report STA-derived paths; the
+    // base FlexiCore4 itself still closes timing at 3 V.
+    for (const auto &c : result.candidates) {
+        if (c.point.features == IsaFeatures::none() &&
+            c.point.operands == OperandModel::Accumulator &&
+            c.point.uarch == MicroArch::SingleCycle) {
+            StaticTimingCheck t =
+                checkDesignPointTiming(c.point, kVddLow);
+            EXPECT_STREQ(t.source, "netlist");
+            EXPECT_TRUE(t.feasible);
+        }
+    }
+
+    // Nothing is both rejected and evaluated.
+    for (const auto &r : result.rejected)
+        for (const auto &c : result.candidates)
+            EXPECT_FALSE(c.point.name() == r.point.name() &&
+                         c.point.features.tag() ==
+                             r.point.features.tag());
+}
+
 } // namespace
 } // namespace flexi

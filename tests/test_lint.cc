@@ -443,5 +443,32 @@ TEST(LintReport, TextAndJsonRenderings)
     EXPECT_FALSE(rep.clean());
 }
 
+TEST(LintReport, JsonRendersStableNetNames)
+{
+    // Findings on a shipped netlist must name nets through the
+    // name table — "acc0", not a bare NetId integer that changes
+    // with re-elaboration.
+    auto nl = buildFlexiCore4Netlist();
+    NetId acc0 = nl->findNet("acc0");
+    ASSERT_NE(acc0, kNoNet);
+
+    LintReport rep;
+    rep.add({Severity::Warning, "test-rule", "acc", {acc0}, -1, -1,
+             "synthetic finding"});
+    rep.resolveNetNames(*nl);
+
+    ASSERT_EQ(rep.diagnostics().size(), 1u);
+    ASSERT_EQ(rep.diagnostics()[0].netNames.size(), 1u);
+    EXPECT_EQ(rep.diagnostics()[0].netNames[0], "acc0");
+
+    std::string json = rep.json("FlexiCore4");
+    EXPECT_NE(json.find("\"acc0\""), std::string::npos);
+
+    // The real lint pass resolves names for its own findings too.
+    LintReport shipped = lintNetlist(*nl);
+    for (const Diagnostic &d : shipped.diagnostics())
+        EXPECT_EQ(d.netNames.size(), d.nets.size());
+}
+
 } // namespace
 } // namespace flexi

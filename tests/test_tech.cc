@@ -6,8 +6,11 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <memory>
 
+#include "analysis/timing.hh"
 #include "common/logging.hh"
+#include "netlist/flexicore_netlist.hh"
 #include "tech/cell_library.hh"
 #include "tech/technology.hh"
 
@@ -135,6 +138,41 @@ TEST(Technology, NegativeCurrentPanics)
 {
     Technology tech;
     EXPECT_THROW(tech.staticCurrent(-1.0, 4.5), PanicError);
+}
+
+TEST(StaticTiming, WorstPathMatchesCriticalPathOnAllCores)
+{
+    // The path-level STA must agree *exactly* (same traversal, same
+    // floating-point arithmetic) with the netlist's scalar critical
+    // path on every shipped core.
+    std::unique_ptr<Netlist> cores[] = {
+        buildFlexiCore4Netlist(), buildFlexiCore8Netlist(),
+        buildExtAcc4Netlist(), buildLoadStore4Netlist()};
+    for (const auto &nl : cores)
+        EXPECT_EQ(analyzeTiming(*nl, 1).worstDelayUnits(),
+                  nl->criticalPathDelayUnits())
+            << nl->name();
+}
+
+TEST(StaticTiming, Fc8IsSlowerThanFc4)
+{
+    // The structural root of the Section 4.1 yield cliff: the 8-bit
+    // core's worst register-to-register path is strictly longer.
+    auto fc4 = buildFlexiCore4Netlist();
+    auto fc8 = buildFlexiCore8Netlist();
+    EXPECT_GT(analyzeTiming(*fc8, 1).worstDelayUnits(),
+              analyzeTiming(*fc4, 1).worstDelayUnits());
+}
+
+TEST(StaticTiming, SlackSignTracksSupplyVoltage)
+{
+    // FC8 meets the 80 us period at 4.5 V but not at 3 V.
+    Technology tech(true);
+    auto fc8 = buildFlexiCore8Netlist();
+    double units = analyzeTiming(*fc8, 1).worstDelayUnits();
+    double period = 1.0 / kClockHz;
+    EXPECT_GT(period - units * tech.unitDelay(kVddNominal), 0.0);
+    EXPECT_LT(period - units * tech.unitDelay(kVddLow), 0.0);
 }
 
 } // namespace

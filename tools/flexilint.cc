@@ -11,21 +11,34 @@
  * plus every benchmark kernel on every ISA that supports it.
  *
  * Options:
- *   --json     machine-readable output (one JSON array)
- *   --werror   treat warnings as errors for the exit code
+ *   --json          machine-readable output (one JSON array)
+ *   --werror        treat warnings as errors for the exit code
+ *   --equiv         formally verify each netlist subject: plan vs
+ *                   gate-level reference, and netlist vs behavioral
+ *                   ISA spec (SAT-based CEC)
+ *   --timing        path-level static timing on each netlist subject
+ *   --vdd <volts>   supply for --timing slack (default nominal 4.5)
+ *   --paths <k>     top-K critical paths for --timing (default 8)
+ *   --suppress <rule[,rule...]>
+ *                   drop findings for the named rules before
+ *                   rendering and before the exit-code count
  *
  * Exit code: 0 clean, 1 findings at error severity, 2 usage error.
  */
 
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <sstream>
 #include <string>
 #include <vector>
 
+#include "analysis/equiv.hh"
 #include "analysis/netlist_lint.hh"
 #include "analysis/program_lint.hh"
+#include "analysis/timing.hh"
+#include "tech/technology.hh"
 #include "assembler/assembler.hh"
 #include "common/logging.hh"
 #include "kernels/fc8_programs.hh"
@@ -78,7 +91,9 @@ int
 usage()
 {
     std::fprintf(stderr,
-        "usage: flexilint [--json] [--werror]\n"
+        "usage: flexilint [--json] [--werror] [--equiv] [--timing]\n"
+        "                 [--vdd <volts>] [--paths <k>]\n"
+        "                 [--suppress <rule[,rule...]>]\n"
         "                 [--netlist fc4|fc8|ext|ls]...\n"
         "                 [--program fc4|fc8|ext|ls <file.s>]...\n"
         "                 [--kernels]\n"
@@ -93,6 +108,43 @@ struct Result
     LintReport report;
 };
 
+/** Split a comma-separated rule list. */
+std::vector<std::string>
+splitRules(const std::string &arg)
+{
+    std::vector<std::string> rules;
+    std::string cur;
+    for (char c : arg) {
+        if (c == ',') {
+            if (!cur.empty())
+                rules.push_back(cur);
+            cur.clear();
+        } else {
+            cur.push_back(c);
+        }
+    }
+    if (!cur.empty())
+        rules.push_back(cur);
+    return rules;
+}
+
+/** A copy of @p report without the suppressed rules. */
+LintReport
+filterReport(const LintReport &report,
+             const std::vector<std::string> &suppressed)
+{
+    LintReport out;
+    for (const Diagnostic &d : report.diagnostics()) {
+        bool drop = false;
+        for (const std::string &rule : suppressed)
+            if (d.rule == rule)
+                drop = true;
+        if (!drop)
+            out.add(d);
+    }
+    return out;
+}
+
 } // namespace
 
 int
@@ -101,6 +153,11 @@ main(int argc, char **argv)
     bool json = false;
     bool werror = false;
     bool kernels = false;
+    bool equiv = false;
+    bool timing = false;
+    double vdd = kVddNominal;
+    size_t top_paths = 8;
+    std::vector<std::string> suppressed;
     std::vector<IsaKind> netlists;
     std::vector<std::pair<IsaKind, std::string>> programs;
 
@@ -112,6 +169,27 @@ main(int argc, char **argv)
             werror = true;
         } else if (arg == "--kernels") {
             kernels = true;
+        } else if (arg == "--equiv") {
+            equiv = true;
+        } else if (arg == "--timing") {
+            timing = true;
+        } else if (arg == "--vdd") {
+            if (++i >= argc)
+                return usage();
+            vdd = std::atof(argv[i]);
+            if (vdd <= 0.0)
+                return usage();
+        } else if (arg == "--paths") {
+            if (++i >= argc)
+                return usage();
+            top_paths = static_cast<size_t>(std::atoi(argv[i]));
+            if (top_paths == 0)
+                return usage();
+        } else if (arg == "--suppress") {
+            if (++i >= argc)
+                return usage();
+            for (std::string &rule : splitRules(argv[i]))
+                suppressed.push_back(std::move(rule));
         } else if (arg == "--netlist") {
             IsaKind isa;
             if (++i >= argc || !parseIsa(argv[i], isa))
@@ -140,7 +218,15 @@ main(int argc, char **argv)
     try {
         for (IsaKind isa : netlists) {
             auto nl = buildNetlist(isa);
-            results.push_back({nl->name(), lintNetlist(*nl)});
+            LintReport report = lintNetlist(*nl);
+            if (equiv)
+                report.append(equivLint(*nl, isa));
+            if (timing) {
+                Technology tech;
+                report.append(
+                    timingLint(*nl, tech, vdd, top_paths));
+            }
+            results.push_back({nl->name(), std::move(report)});
         }
         if (kernels) {
             for (KernelId id : allKernels()) {
@@ -181,6 +267,10 @@ main(int argc, char **argv)
         std::fprintf(stderr, "flexilint: %s\n", err.what());
         return 2;
     }
+
+    if (!suppressed.empty())
+        for (auto &res : results)
+            res.report = filterReport(res.report, suppressed);
 
     size_t num_errors = 0, num_warnings = 0;
     if (json)
