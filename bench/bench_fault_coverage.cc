@@ -15,6 +15,7 @@
 #include <cstdio>
 #include <map>
 
+#include "analysis/atpg.hh"
 #include "bench_util.hh"
 #include "netlist/flexicore_netlist.hh"
 #include "netlist/lockstep.hh"
@@ -70,6 +71,28 @@ coverageFor(IsaKind isa, uint64_t cycles)
                       counts.second)});
     }
     std::printf("%s", t.str().c_str());
+
+    // SAT-guided ATPG triage of the escapes: test holes (a pattern
+    // exists) versus provably redundant faults (UNSAT miter), and
+    // the resulting coverage over testable faults.
+    AtpgConfig atpg;
+    atpg.isa = isa;
+    atpg.simCycles = cycles;
+    AtpgReport rep = runAtpg(atpg, prog, inputs);
+    std::printf("\nSAT-guided ATPG over the %zu escapes: %zu testable "
+                "(pattern generated), %zu provably\nredundant; "
+                "testable-fault coverage %.1f%% "
+                "(%llu solver calls, %llu conflicts)\n",
+                rep.escapes.size(), rep.testable, rep.redundant,
+                100.0 * rep.testableCoverage(),
+                static_cast<unsigned long long>(rep.solves),
+                static_cast<unsigned long long>(rep.conflicts));
+    for (const AtpgFault &f : rep.escapes) {
+        if (f.testable)
+            std::printf("  hole: %s stuck-at-%d [%s]  pattern: %s\n",
+                        f.net.c_str(), f.fault.value ? 1 : 0,
+                        f.module.c_str(), f.pattern.c_str());
+    }
 }
 
 } // namespace

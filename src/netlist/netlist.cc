@@ -66,7 +66,8 @@ Netlist::Netlist(std::string name)
 Netlist::Netlist(const Netlist &other, bool)
     : s_(other.s_), elaborated_(other.elaborated_),
       netVal_(other.netVal_), dffState_(other.dffState_),
-      faults_(other.faults_), forceMask_(other.forceMask_),
+      faults_(other.faults_), transients_(other.transients_),
+      cycle_(other.cycle_), forceMask_(other.forceMask_),
       forceVal_(other.forceVal_), toggles_(other.toggles_)
 {
 }
@@ -618,13 +619,45 @@ Netlist::bus(const BusHandle &bus) const
 }
 
 void
+Netlist::applyFaultForces()
+{
+    // Transient windows open and close against the instance cycle
+    // counter: rebuild the force state of every transient-touched
+    // net each call (stuck-at faults reassert themselves once a
+    // window closes). The rebuild is O(faults + transients), both
+    // tiny, and skipped entirely on the fault-free fast path.
+    if (!transients_.empty()) {
+        for (const auto &t : transients_) {
+            forceMask_[t.net] = 0;
+            forceVal_[t.net] = 0;
+        }
+        for (const auto &f : faults_) {
+            forceMask_[f.net] = 0xFF;
+            forceVal_[f.net] = f.value;
+        }
+        for (const auto &t : transients_) {
+            if (cycle_ >= t.fromCycle && cycle_ < t.untilCycle) {
+                forceMask_[t.net] = 0xFF;
+                forceVal_[t.net] = t.value;
+            }
+        }
+    }
+
+    // Apply fault forcing to primary/state nets (cell outputs and
+    // DFF Q nets are handled by the force-mask blends).
+    for (const auto &f : faults_)
+        netVal_[f.net] = f.value;
+    for (const auto &t : transients_)
+        if (cycle_ >= t.fromCycle && cycle_ < t.untilCycle)
+            netVal_[t.net] = t.value;
+}
+
+void
 Netlist::evaluate()
 {
     checkElaborated(true);
 
-    // Apply fault forcing to primary/state nets first.
-    for (const auto &f : faults_)
-        netVal_[f.net] = f.value;
+    applyFaultForces();
 
     // Expose DFF state on Q nets (force-masked blend).
     const EvalPlan &plan = s_->plan;
@@ -662,8 +695,7 @@ Netlist::evaluateReference()
 {
     checkElaborated(true);
 
-    for (const auto &f : faults_)
-        netVal_[f.net] = f.value;
+    applyFaultForces();
 
     const auto &cells = s_->cells;
     const auto &dffCells = s_->dffCells;
@@ -706,6 +738,7 @@ Netlist::clockEdge()
         toggles_[plan.dffCell[i]] += dffState_[i] ^ d;
         dffState_[i] = d;
     }
+    ++cycle_;
 }
 
 bool
@@ -766,6 +799,71 @@ Netlist::clearFaults()
         forceVal_[f.net] = 0;
     }
     faults_.clear();
+}
+
+void
+Netlist::injectTransient(const TransientFault &fault)
+{
+    checkElaborated(true);
+    if (fault.net >= s_->nextNet)
+        panic("injectTransient: bad net %u", fault.net);
+    if (fault.untilCycle <= fault.fromCycle)
+        panic("injectTransient: empty window [%llu, %llu)",
+              static_cast<unsigned long long>(fault.fromCycle),
+              static_cast<unsigned long long>(fault.untilCycle));
+    transients_.push_back(fault);
+}
+
+void
+Netlist::clearTransients()
+{
+    checkElaborated(true);
+    // Release any currently forced windows, then let the stuck-at
+    // faults reassert their own force state.
+    for (const auto &t : transients_) {
+        forceMask_[t.net] = 0;
+        forceVal_[t.net] = 0;
+    }
+    transients_.clear();
+    for (const auto &f : faults_) {
+        forceMask_[f.net] = 0xFF;
+        forceVal_[f.net] = f.value;
+    }
+}
+
+bool
+Netlist::dffValue(size_t index) const
+{
+    checkElaborated(true);
+    if (index >= dffState_.size())
+        panic("dffValue: bad DFF %zu", index);
+    return dffState_[index] != 0;
+}
+
+void
+Netlist::flipDff(size_t index)
+{
+    checkElaborated(true);
+    if (index >= dffState_.size())
+        panic("flipDff: bad DFF %zu", index);
+    dffState_[index] ^= 1;
+}
+
+std::vector<uint8_t>
+Netlist::saveDffState() const
+{
+    checkElaborated(true);
+    return dffState_;
+}
+
+void
+Netlist::restoreDffState(const std::vector<uint8_t> &state)
+{
+    checkElaborated(true);
+    if (state.size() != dffState_.size())
+        panic("restoreDffState: %zu bits, netlist has %zu",
+              state.size(), dffState_.size());
+    dffState_ = state;
 }
 
 unsigned

@@ -74,6 +74,22 @@ struct StuckFault
     bool value = false;
 };
 
+/**
+ * A transient fault on a net: the net is forced to @p value for the
+ * half-open cycle window [fromCycle, untilCycle), measured on the
+ * instance's cycle() counter, then released. Used by the in-field
+ * fault-injection campaigns to model single-cycle upsets and
+ * timing-marginal glitches; outside its window the fault has no
+ * effect at all.
+ */
+struct TransientFault
+{
+    NetId net = kNoNet;
+    bool value = false;
+    uint64_t fromCycle = 0;
+    uint64_t untilCycle = 0;
+};
+
 /** Per-module rollup of area / power / devices (Tables 2 and 3). */
 struct ModuleStats
 {
@@ -221,13 +237,58 @@ class Netlist
     unsigned bus(const std::string &prefix, unsigned width) const;
     bool netValue(NetId net) const;
 
-    /** Reset all state bits to their power-on values. */
+    /**
+     * Reset all state bits to their power-on values. The experiment
+     * clock (cycle()) keeps counting and transient-fault windows are
+     * not re-armed: a reset models the field runtime power-cycling /
+     * re-paging the part, not rewinding wall-clock time, so an upset
+     * whose window has passed cannot strike again on the retry.
+     */
     void reset();
 
     void injectFault(const StuckFault &fault);
     void clearFaults();
     /** Faults currently forced on this instance. */
     const std::vector<StuckFault> &faults() const { return faults_; }
+
+    /**
+     * Clock edges seen by this instance since elaborate()/clone()
+     * (monotonic; survives reset(), see above).
+     */
+    uint64_t cycle() const { return cycle_; }
+
+    /**
+     * Arm a transient fault. Activation and release happen inside
+     * evaluate() based on cycle(); stuck-at faults on the same net
+     * reassert themselves once the window closes.
+     */
+    void injectTransient(const TransientFault &fault);
+    void clearTransients();
+    const std::vector<TransientFault> &transients() const
+    {
+        return transients_;
+    }
+
+    /** Number of DFFs (state bits), in commit order. */
+    size_t numDffs() const { return s_->dffCells.size(); }
+    /** Stored state bit of DFF @p index (commit order). */
+    bool dffValue(size_t index) const;
+    /**
+     * Flip the stored state bit of DFF @p index — a single-event
+     * upset of the latch itself, independent of its D cone. Call
+     * evaluate() afterwards to propagate the corrupted state.
+     */
+    void flipDff(size_t index);
+
+    /**
+     * Snapshot / restore the architectural state (all DFF bits) for
+     * checkpoint-rollback recovery. restoreDffState() leaves the
+     * combinational nets stale; drive inputs and evaluate() before
+     * sampling any pad. Faults, toggle counters, and cycle() are
+     * deliberately not part of the snapshot.
+     */
+    std::vector<uint8_t> saveDffState() const;
+    void restoreDffState(const std::vector<uint8_t> &state);
     ///@}
 
     /** @name Analysis */
@@ -350,6 +411,7 @@ class Netlist
 
     void checkElaborated(bool want) const;
     void compilePlan();
+    void applyFaultForces();
 
     std::shared_ptr<Structure> s_;
     bool elaborated_ = false;
@@ -362,6 +424,8 @@ class Netlist
     std::vector<uint8_t> netVal_;
     std::vector<uint8_t> dffState_;
     std::vector<StuckFault> faults_;
+    std::vector<TransientFault> transients_;
+    uint64_t cycle_ = 0;
     std::vector<uint8_t> forceMask_;   ///< 0xFF where a fault forces
     std::vector<uint8_t> forceVal_;
     std::vector<uint64_t> toggles_;

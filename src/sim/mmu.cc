@@ -46,6 +46,15 @@ Mmu::takePendingPage()
     return static_cast<int>(page_);
 }
 
+void
+Mmu::reset()
+{
+    state_ = State::Idle;
+    page_ = 0;
+    pending_ = false;
+    pendingPage_ = 0;
+}
+
 PagedEnvironment::PagedEnvironment(Environment &inner)
     : inner_(inner)
 {

@@ -53,6 +53,12 @@ class Mmu
 
     unsigned currentPage() const { return page_; }
 
+    /**
+     * Power-cycle the FST: back to Idle on page 0 with nothing
+     * pending. Used when a checked run escalates to a restart.
+     */
+    void reset();
+
   private:
     enum class State { Idle, GotEsc0, GotEsc1 };
 
@@ -77,6 +83,7 @@ class PagedEnvironment : public Environment
     int pageSwitchOnBranch() override;
 
     const Mmu &mmu() const { return mmu_; }
+    Mmu &mmu() { return mmu_; }
 
   private:
     Environment &inner_;

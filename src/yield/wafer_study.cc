@@ -192,7 +192,9 @@ runWaferStudy(const WaferStudyConfig &config)
             for (unsigned d = 0; d < die.sample.defects; ++d) {
                 NetId net = static_cast<NetId>(
                     rng.below(faulty->numNets()));
-                faulty->injectFault({net, rng.chance(0.5)});
+                StuckFault fault{net, rng.chance(0.5)};
+                faulty->injectFault(fault);
+                die.faults.push_back(fault);
             }
         }
 

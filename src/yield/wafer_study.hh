@@ -19,6 +19,7 @@
 
 #include "common/stats.hh"
 #include "isa/isa.hh"
+#include "netlist/netlist.hh"
 #include "yield/die_model.hh"
 #include "yield/wafer.hh"
 
@@ -40,6 +41,13 @@ struct DieResult
     DieSample sample;
     DieProbe at3V;
     DieProbe at45V;
+    /**
+     * The stuck-at faults injected into this die's netlist (empty
+     * for defect-free dies or statistical-only runs). Recording them
+     * lets downstream passes — notably salvage binning — rebuild the
+     * exact faulty die without replaying the study's RNG streams.
+     */
+    std::vector<StuckFault> faults;
 };
 
 /** Configuration of one wafer run. */

@@ -1,0 +1,9 @@
+; Minimal terminating FlexiCore4 program: emit one output nibble and
+; halt (taken branch to itself). Companion to spin.s in the flexisim
+; watchdog tests — proves --max-cycles does not disturb a program
+; that finishes on its own.
+nandi 0
+xori 0xA        ; ACC = 0xF ^ 0xA = 0x5
+store r1        ; write 0x5 to the output bus
+nandi 0         ; force ACC negative so the branch is taken
+done: br done   ; taken branch to itself = halt

@@ -1,0 +1,9 @@
+; Deliberately non-terminating FlexiCore4 program: two taken
+; branches ping-pong forever, so the halt condition (taken branch to
+; itself) never fires. Used by the flexisim --max-cycles watchdog
+; test; a simulator run without the watchdog would burn the whole
+; million-instruction budget.
+ping: nandi 0
+br pong
+pong: nandi 0
+br ping

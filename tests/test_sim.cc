@@ -8,6 +8,7 @@
 
 #include "assembler/assembler.hh"
 #include "common/logging.hh"
+#include "common/rng.hh"
 #include "sim/core_sim.hh"
 #include "sim/mmu.hh"
 
@@ -586,6 +587,117 @@ TEST(Mmu, MultiPageProgramRuns)
     ASSERT_EQ(io.outputs().size(), 1u);
     // ACC after branch: 0xF (nandi 0); addi 0 keeps it; xori 9 -> 6.
     EXPECT_EQ(io.outputs()[0], 0x6);
+}
+
+// ---------------------------------------------------------------
+// MMU FST robustness: fuzz against an independent reference
+// ---------------------------------------------------------------
+
+/**
+ * Reference de-escaper, written straight from the longest-match FST
+ * spec in mmu.hh, independent of the production code: the held
+ * prefix is modeled as an explicit byte buffer. Returns forwarded
+ * bytes; sets @p page when a triple completes.
+ */
+struct RefDeEscaper
+{
+    std::vector<uint8_t> held;
+
+    std::vector<uint8_t>
+    feed(uint8_t v, int &page)
+    {
+        page = -1;
+        if (held.empty()) {
+            if (v == kMmuEscape0) {
+                held = {v};
+                return {};
+            }
+            return {v};
+        }
+        if (held.size() == 1) {
+            if (v == kMmuEscape1) {
+                held = {kMmuEscape0, kMmuEscape1};
+                return {};
+            }
+            if (v == kMmuEscape0)
+                // Longest match: flush one 0xA, stay armed.
+                return {kMmuEscape0};
+            held.clear();
+            return {kMmuEscape0, v};
+        }
+        held.clear();
+        page = v & 0xF;
+        return {};
+    }
+};
+
+TEST(MmuFuzz, RandomStreamsMatchReference)
+{
+    // Random byte streams — heavily biased toward escape bytes so
+    // truncated and overlapping triples (0xA 0xA 0x5 p, 0xA 0x3,
+    // 0xA 0x5 0xA 0x5 p, ...) occur constantly — must forward
+    // exactly the bytes the reference de-escaper forwards and
+    // complete exactly the page selections it completes. pending()
+    // is consumed after every byte, so a stuck or spurious pending
+    // flag fails immediately.
+    Rng rng(0xE5CA9Eull);
+    for (int round = 0; round < 64; ++round) {
+        Mmu mmu;
+        RefDeEscaper ref;
+        size_t len = 1 + rng.below(200);
+        for (size_t i = 0; i < len; ++i) {
+            uint8_t v;
+            switch (rng.below(4)) {
+              case 0: v = kMmuEscape0; break;
+              case 1: v = kMmuEscape1; break;
+              case 2: v = static_cast<uint8_t>(rng.below(16)); break;
+              default: v = static_cast<uint8_t>(rng.below(256));
+            }
+            int want_page = -1;
+            auto want = ref.feed(v, want_page);
+            auto got = mmu.onOutput(v);
+            ASSERT_EQ(got, want)
+                << "round " << round << " byte " << i;
+            ASSERT_EQ(mmu.pending(), want_page >= 0)
+                << "round " << round << " byte " << i;
+            if (want_page >= 0)
+                EXPECT_EQ(mmu.takePendingPage(), want_page);
+            else
+                EXPECT_EQ(mmu.takePendingPage(), -1);
+        }
+    }
+}
+
+TEST(MmuFuzz, FlushThroughNeverDesyncs)
+{
+    // Whatever garbage the FST has seen, two zero bytes drive it
+    // back to Idle (zero can neither start nor extend an escape), a
+    // fresh triple must then arm the expected page, and pending()
+    // must not be stuck from the garbage phase. This is the recovery
+    // property the checked runner's restart path relies on.
+    Rng rng(0xF1055ull);
+    for (int round = 0; round < 64; ++round) {
+        Mmu mmu;
+        size_t len = rng.below(64);
+        for (size_t i = 0; i < len; ++i)
+            mmu.onOutput(static_cast<uint8_t>(
+                rng.chance(0.5) ? rng.below(16) : rng.below(256)));
+        // A garbage stream may legitimately have completed a triple;
+        // consume it so the next selection is unambiguous.
+        mmu.takePendingPage();
+        mmu.onOutput(0);
+        mmu.onOutput(0);
+        mmu.takePendingPage(); // flush byte may have closed a triple
+        EXPECT_FALSE(mmu.pending()) << "round " << round;
+        unsigned page = 1 + rng.below(15);
+        mmu.onOutput(kMmuEscape0);
+        mmu.onOutput(kMmuEscape1);
+        auto out = mmu.onOutput(static_cast<uint8_t>(page));
+        EXPECT_TRUE(out.empty());
+        ASSERT_TRUE(mmu.pending()) << "round " << round;
+        EXPECT_EQ(mmu.takePendingPage(), static_cast<int>(page));
+        EXPECT_FALSE(mmu.pending());
+    }
 }
 
 } // namespace

@@ -2,13 +2,19 @@
  * @file
  * Command-line simulator.
  *
- *   flexi_sim <isa> <source.s> [inputs...]
+ *   flexi_sim [-t] [--max-cycles N] <isa> <source.s> [inputs...]
  *
  * Assembles and runs the program on the corresponding core (with the
  * off-chip MMU for multi-page programs), feeding the given input
  * values, until the program halts (taken branch to itself) or the
  * instruction budget runs out. Prints outputs, statistics, runtime
  * and energy.
+ *
+ * --max-cycles arms a watchdog: a program still running after N core
+ * cycles is aborted with a clean timeout message and exit status 3,
+ * instead of spinning against the (huge) instruction budget. Tests
+ * and scripts driving flexisim on untrusted programs should always
+ * pass it.
  */
 
 #include <cstdio>
@@ -50,12 +56,24 @@ makeChip(const char *name)
 int
 main(int argc, char **argv)
 {
-    bool trace = argc > 1 && !std::strcmp(argv[1], "-t");
-    int base = trace ? 2 : 1;
+    bool trace = false;
+    uint64_t max_cycles = 0;
+    int base = 1;
+    for (; base < argc; ++base) {
+        if (!std::strcmp(argv[base], "-t")) {
+            trace = true;
+        } else if (!std::strcmp(argv[base], "--max-cycles") &&
+                   base + 1 < argc) {
+            max_cycles = std::strtoull(argv[++base], nullptr, 0);
+        } else {
+            break;
+        }
+    }
     if (argc < base + 2) {
         std::fprintf(stderr,
-                     "usage: %s [-t] <fc4|fc8|ext|ls> <source.s> "
-                     "[inputs...]\n", argv[0]);
+                     "usage: %s [-t] [--max-cycles N] "
+                     "<fc4|fc8|ext|ls> <source.s> [inputs...]\n",
+                     argv[0]);
         return 2;
     }
     try {
@@ -78,7 +96,32 @@ main(int argc, char **argv)
             chip->pushInput(static_cast<uint8_t>(
                 std::strtoul(argv[i], nullptr, 0)));
 
-        StopReason reason = chip->run(1000000);
+        // The cycle watchdog runs the chip in slices so a spinning
+        // program is cut off near (not exactly at) the cycle limit —
+        // a timeout, not a cycle-accurate breakpoint.
+        StopReason reason;
+        bool timed_out = false;
+        if (max_cycles) {
+            do {
+                reason = chip->run(chip->stats().instructions + 4096);
+            } while (reason == StopReason::Budget &&
+                     chip->stats().cycles < max_cycles);
+            timed_out = reason == StopReason::Budget &&
+                        chip->stats().cycles >= max_cycles;
+        } else {
+            reason = chip->run(1000000);
+        }
+        if (timed_out) {
+            std::fprintf(stderr,
+                         "timeout: program still running after %lu "
+                         "cycles (%lu instructions); use --max-cycles "
+                         "to adjust the watchdog\n",
+                         static_cast<unsigned long>(
+                             chip->stats().cycles),
+                         static_cast<unsigned long>(
+                             chip->stats().instructions));
+            return 3;
+        }
         std::printf("stopped: %s\n",
                     reason == StopReason::Halted ? "halted"
                                                  : "budget");
