@@ -8,11 +8,15 @@
  * emits them as BENCH_sim_throughput.json every run.
  */
 
+#include <cstdio>
+#include <cstdlib>
+
 #include <benchmark/benchmark.h>
 
 #include "assembler/assembler.hh"
 #include "kernels/runner.hh"
 #include "netlist/flexicore_netlist.hh"
+#include "netlist/lane_batch.hh"
 #include "netlist/lockstep.hh"
 #include "sim/core_sim.hh"
 #include "yield/test_program.hh"
@@ -144,8 +148,43 @@ BM_WaferStudyStatistical(benchmark::State &state)
 }
 BENCHMARK(BM_WaferStudyStatistical);
 
-/** Full gate-level fault simulation of every defective die; the
- *  thread count sweeps from single-threaded to auto (0). */
+/** 64 dies per pass through the word-parallel compiled plan. */
+void
+BM_LaneBatchCycleRate(benchmark::State &state)
+{
+    auto nl = buildFlexiCore4Netlist();
+    LaneBatch batch(*nl);
+    Program p = makeTestProgram(IsaKind::FlexiCore4, 1);
+    const auto &image = p.page(0);
+    BusHandle pc = nl->outputBus("pc", 7);
+    BusHandle instr = nl->inputBus("instr", 8);
+    BusHandle iport = nl->inputBus("iport", 4);
+    batch.setBus(iport, 0x5);
+    uint32_t die_pc[LaneBatch::kMaxLanes] = {};
+    uint32_t die_instr[LaneBatch::kMaxLanes] = {};
+    for (auto _ : state) {
+        for (int i = 0; i < 100; ++i) {
+            for (unsigned lane = 0; lane < batch.lanes(); ++lane)
+                die_instr[lane] = die_pc[lane] < image.size()
+                                      ? image[die_pc[lane]]
+                                      : 0;
+            batch.setBusLanes(instr, die_instr);
+            batch.evaluate();
+            batch.clockEdge();
+            batch.evaluate();
+            batch.gatherBus(pc, die_pc);
+        }
+    }
+    // One item = one simulated die-cycle: 100 batch cycles x 64
+    // lanes per iteration.
+    state.SetItemsProcessed(state.iterations() * 100 *
+                            LaneBatch::kMaxLanes);
+}
+BENCHMARK(BM_LaneBatchCycleRate);
+
+/** Full gate-level fault simulation of every defective die on the
+ *  scalar clone-per-die path — the speedup yardstick for the lane
+ *  batching; the thread count sweeps single-threaded to auto (0). */
 void
 BM_WaferStudyGateLevel(benchmark::State &state)
 {
@@ -155,6 +194,7 @@ BM_WaferStudyGateLevel(benchmark::State &state)
         cfg.gateLevelErrors = true;
         cfg.testCycles = 600;
         cfg.threads = static_cast<unsigned>(state.range(0));
+        cfg.batchLanes = 1;
         auto res = runWaferStudy(cfg);
         benchmark::DoNotOptimize(res.yield(4.5, true));
     }
@@ -162,7 +202,55 @@ BM_WaferStudyGateLevel(benchmark::State &state)
 BENCHMARK(BM_WaferStudyGateLevel)->Arg(1)->Arg(0)
     ->Unit(benchmark::kMillisecond);
 
+/** The same wafer workload with defective dies packed 64 to a word
+ *  (the runWaferStudy default); bit-identical yields and error
+ *  counts to BM_WaferStudyGateLevel's scalar path. */
+void
+BM_WaferStudyGateLevelBatched(benchmark::State &state)
+{
+    for (auto _ : state) {
+        WaferStudyConfig cfg;
+        cfg.seed = 5;
+        cfg.gateLevelErrors = true;
+        cfg.testCycles = 600;
+        cfg.threads = static_cast<unsigned>(state.range(0));
+        cfg.batchLanes = 64;
+        auto res = runWaferStudy(cfg);
+        benchmark::DoNotOptimize(res.yield(4.5, true));
+    }
+}
+BENCHMARK(BM_WaferStudyGateLevelBatched)->Arg(1)->Arg(0)
+    ->Unit(benchmark::kMillisecond);
+
 } // namespace
 } // namespace flexi
 
-BENCHMARK_MAIN();
+int
+main(int argc, char **argv)
+{
+    // The committed snapshot is only meaningful from an optimized
+    // build: refuse to run from a debug (assert-enabled) build
+    // unless explicitly overridden, and record the build type in the
+    // JSON context either way. (The library_build_type field emitted
+    // by google-benchmark describes the *benchmark library's* build,
+    // not ours — flexi_build_type is the authoritative one.)
+#ifdef NDEBUG
+    benchmark::AddCustomContext("flexi_build_type", "release");
+#else
+    if (!std::getenv("FLEXI_BENCH_ALLOW_DEBUG")) {
+        std::fprintf(stderr,
+                     "bench_sim_throughput: refusing to benchmark a "
+                     "debug build (numbers would be meaningless); "
+                     "configure with -DCMAKE_BUILD_TYPE=Release or "
+                     "set FLEXI_BENCH_ALLOW_DEBUG=1 to override\n");
+        return 1;
+    }
+    benchmark::AddCustomContext("flexi_build_type", "debug");
+#endif
+    benchmark::Initialize(&argc, argv);
+    if (benchmark::ReportUnrecognizedArguments(argc, argv))
+        return 1;
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+    return 0;
+}

@@ -1,0 +1,362 @@
+#include "lane_batch.hh"
+
+#include "common/logging.hh"
+
+namespace flexi
+{
+
+LaneBatch::LaneBatch(const Netlist &golden, unsigned lanes)
+    : s_(golden.s_), lanes_(lanes)
+{
+    if (!golden.elaborated())
+        panic("LaneBatch: netlist '%s' must be elaborated",
+              s_->name.c_str());
+    if (lanes_ == 0 || lanes_ > kMaxLanes)
+        panic("LaneBatch: bad lane count %u", lanes_);
+    laneMask_ = lanes_ == kMaxLanes ? ~0ull
+                                    : ((1ull << lanes_) - 1);
+    // One extra trailing word: the always-0 scratch net backing the
+    // padded input slots of the plan (same layout as the scalar
+    // evaluator's trailing scratch byte).
+    val64_.assign(s_->nextNet + 1, 0);
+    dffState64_.assign(s_->dffCells.size(), 0);
+    mask64_.assign(s_->nextNet, 0);
+    fval64_.assign(s_->nextNet, 0);
+    reset();
+}
+
+void
+LaneBatch::checkLane(unsigned lane) const
+{
+    if (lane >= lanes_)
+        panic("LaneBatch: lane %u out of range (%u lanes)", lane,
+              lanes_);
+}
+
+void
+LaneBatch::injectFault(unsigned lane, const StuckFault &fault)
+{
+    checkLane(lane);
+    if (fault.net >= s_->nextNet)
+        panic("injectFault: bad net %u", fault.net);
+    faults_.push_back({lane, fault});
+    uint64_t bit = 1ull << lane;
+    mask64_[fault.net] |= bit;
+    fval64_[fault.net] = (fval64_[fault.net] & ~bit) |
+                         (fault.value ? bit : 0);
+}
+
+void
+LaneBatch::clearFaults()
+{
+    for (const auto &f : faults_) {
+        uint64_t bit = 1ull << f.lane;
+        mask64_[f.f.net] &= ~bit;
+        fval64_[f.f.net] &= ~bit;
+    }
+    faults_.clear();
+}
+
+void
+LaneBatch::injectTransient(unsigned lane, const TransientFault &fault)
+{
+    checkLane(lane);
+    if (fault.net >= s_->nextNet)
+        panic("injectTransient: bad net %u", fault.net);
+    if (fault.untilCycle <= fault.fromCycle)
+        panic("injectTransient: empty window [%llu, %llu)",
+              static_cast<unsigned long long>(fault.fromCycle),
+              static_cast<unsigned long long>(fault.untilCycle));
+    transients_.push_back({lane, fault});
+}
+
+void
+LaneBatch::clearTransients()
+{
+    // Release any currently forced windows, then let the stuck-at
+    // faults reassert their own force bits (mirrors the scalar
+    // clearTransients at bit granularity).
+    for (const auto &t : transients_) {
+        uint64_t bit = 1ull << t.lane;
+        mask64_[t.f.net] &= ~bit;
+        fval64_[t.f.net] &= ~bit;
+    }
+    transients_.clear();
+    for (const auto &f : faults_) {
+        uint64_t bit = 1ull << f.lane;
+        mask64_[f.f.net] |= bit;
+        fval64_[f.f.net] = (fval64_[f.f.net] & ~bit) |
+                           (f.f.value ? bit : 0);
+    }
+}
+
+void
+LaneBatch::flipDff(unsigned lane, size_t index)
+{
+    checkLane(lane);
+    if (index >= dffState64_.size())
+        panic("flipDff: bad DFF %zu", index);
+    dffState64_[index] ^= 1ull << lane;
+}
+
+void
+LaneBatch::reset()
+{
+    for (size_t i = 0; i < dffState64_.size(); ++i)
+        dffState64_[i] = s_->dffInit[i] ? ~0ull : 0;
+    std::fill(val64_.begin(), val64_.end(), 0);
+    val64_[s_->one] = ~0ull;
+}
+
+void
+LaneBatch::applyFaultForces()
+{
+    // Per-lane mirror of the scalar force rebuild: transient windows
+    // open and close against the batch cycle counter; stuck-at bits
+    // reassert themselves once a lane's window closes.
+    if (!transients_.empty()) {
+        for (const auto &t : transients_) {
+            uint64_t bit = 1ull << t.lane;
+            mask64_[t.f.net] &= ~bit;
+            fval64_[t.f.net] &= ~bit;
+        }
+        for (const auto &f : faults_) {
+            uint64_t bit = 1ull << f.lane;
+            mask64_[f.f.net] |= bit;
+            fval64_[f.f.net] = (fval64_[f.f.net] & ~bit) |
+                               (f.f.value ? bit : 0);
+        }
+        for (const auto &t : transients_) {
+            if (cycle_ >= t.f.fromCycle && cycle_ < t.f.untilCycle) {
+                uint64_t bit = 1ull << t.lane;
+                mask64_[t.f.net] |= bit;
+                fval64_[t.f.net] = (fval64_[t.f.net] & ~bit) |
+                                   (t.f.value ? bit : 0);
+            }
+        }
+    }
+
+    // Apply fault forcing to primary/state nets (cell outputs and
+    // DFF Q nets are handled by the force-mask blends).
+    for (const auto &f : faults_) {
+        uint64_t bit = 1ull << f.lane;
+        val64_[f.f.net] = (val64_[f.f.net] & ~bit) |
+                          (f.f.value ? bit : 0);
+    }
+    for (const auto &t : transients_) {
+        if (cycle_ >= t.f.fromCycle && cycle_ < t.f.untilCycle) {
+            uint64_t bit = 1ull << t.lane;
+            val64_[t.f.net] = (val64_[t.f.net] & ~bit) |
+                              (t.f.value ? bit : 0);
+        }
+    }
+}
+
+template <bool kToggles>
+void
+LaneBatch::evaluateImpl()
+{
+    applyFaultForces();
+
+    // Expose DFF state on Q nets (force-masked blend, all lanes).
+    const Netlist::EvalPlan &plan = s_->plan;
+    size_t nd = plan.dffQ.size();
+    for (size_t i = 0; i < nd; ++i) {
+        NetId q = plan.dffQ[i];
+        uint64_t m = mask64_[q];
+        val64_[q] = (dffState64_[i] & ~m) | (fval64_[q] & m);
+    }
+
+    const NetId *in = plan.in.data();
+    const NetId *out = plan.out.data();
+    const uint8_t *lut = plan.lut.data();
+    const uint8_t *wop = plan.wop.data();
+    const uint32_t *cell = plan.cell.data();
+    uint64_t *val = val64_.data();
+    const uint64_t *mask = mask64_.data();
+    const uint64_t *fval = fval64_.data();
+
+    size_t n = plan.out.size();
+    for (size_t i = 0; i < n; ++i) {
+        uint64_t a = val[in[3 * i]];
+        uint64_t b = val[in[3 * i + 1]];
+        uint64_t c = val[in[3 * i + 2]];
+        uint64_t v = 0;
+        switch (static_cast<WordOp>(wop[i])) {
+          case WordOp::Buf:
+            v = a;
+            break;
+          case WordOp::Inv:
+            v = ~a;
+            break;
+          case WordOp::Nand2:
+            v = ~(a & b);
+            break;
+          case WordOp::Nand3:
+            v = ~(a & b & c);
+            break;
+          case WordOp::Nor2:
+            v = ~(a | b);
+            break;
+          case WordOp::Nor3:
+            v = ~(a | b | c);
+            break;
+          case WordOp::Xor2:
+            v = a ^ b;
+            break;
+          case WordOp::Xnor2:
+            v = ~(a ^ b);
+            break;
+          case WordOp::Mux2:
+            // {a, b, sel}: sel ? b : a, as one blend.
+            v = a ^ ((a ^ b) & c);
+            break;
+          case WordOp::Lut:
+            // Generic fallback: minterm expansion of the 8-bit truth
+            // table. Padded slots read the always-zero scratch word,
+            // whose complemented literal is all-ones — exactly the
+            // scalar semantics of a padded index bit.
+            for (unsigned t = 0; t < 8; ++t) {
+                if (!((lut[i] >> t) & 1))
+                    continue;
+                v |= ((t & 1) ? a : ~a) & ((t & 2) ? b : ~b) &
+                     ((t & 4) ? c : ~c);
+            }
+            break;
+        }
+        NetId o = out[i];
+        uint64_t m = mask[o];
+        v = (v & ~m) | (fval[o] & m);
+        if constexpr (kToggles) {
+            uint64_t diff = (val[o] ^ v) & laneMask_;
+            uint64_t *tg =
+                toggles64_.data() +
+                static_cast<size_t>(cell[i]) * kMaxLanes;
+            while (diff) {
+                ++tg[__builtin_ctzll(diff)];
+                diff &= diff - 1;
+            }
+        }
+        val[o] = v;
+    }
+}
+
+void
+LaneBatch::evaluate()
+{
+    if (countToggles_)
+        evaluateImpl<true>();
+    else
+        evaluateImpl<false>();
+}
+
+void
+LaneBatch::clockEdge()
+{
+    const Netlist::EvalPlan &plan = s_->plan;
+    size_t nd = plan.dffD.size();
+    for (size_t i = 0; i < nd; ++i) {
+        uint64_t d = val64_[plan.dffD[i]];
+        NetId q = plan.dffQ[i];
+        uint64_t m = mask64_[q];
+        d = (d & ~m) | (fval64_[q] & m);
+        if (countToggles_) {
+            uint64_t diff = (dffState64_[i] ^ d) & laneMask_;
+            uint64_t *tg =
+                toggles64_.data() +
+                static_cast<size_t>(plan.dffCell[i]) * kMaxLanes;
+            while (diff) {
+                ++tg[__builtin_ctzll(diff)];
+                diff &= diff - 1;
+            }
+        }
+        dffState64_[i] = d;
+    }
+    ++cycle_;
+}
+
+void
+LaneBatch::setBus(const BusHandle &bus, unsigned value)
+{
+    if (!bus.input_)
+        panic("setBus: handle does not name an input bus");
+    for (unsigned i = 0; i < bus.nets_.size(); ++i)
+        val64_[bus.nets_[i]] = ((value >> i) & 1u) ? ~0ull : 0;
+}
+
+void
+LaneBatch::setInputLanes(const std::string &name, uint64_t lane_bits)
+{
+    auto it = s_->inputs.find(name);
+    if (it == s_->inputs.end())
+        panic("no input named '%s'", name.c_str());
+    val64_[it->second] = lane_bits & laneMask_;
+}
+
+void
+LaneBatch::setBusLanes(const BusHandle &bus, const uint32_t *values)
+{
+    if (!bus.input_)
+        panic("setBusLanes: handle does not name an input bus");
+    for (unsigned i = 0; i < bus.nets_.size(); ++i) {
+        uint64_t w = 0;
+        for (unsigned lane = 0; lane < lanes_; ++lane)
+            w |= static_cast<uint64_t>((values[lane] >> i) & 1u)
+                 << lane;
+        val64_[bus.nets_[i]] = w;
+    }
+}
+
+unsigned
+LaneBatch::bus(const BusHandle &bus, unsigned lane) const
+{
+    checkLane(lane);
+    unsigned v = 0;
+    for (unsigned i = 0; i < bus.nets_.size(); ++i)
+        v |= static_cast<unsigned>(
+                 (val64_[bus.nets_[i]] >> lane) & 1ull) << i;
+    return v;
+}
+
+void
+LaneBatch::gatherBus(const BusHandle &bus, uint32_t *out) const
+{
+    for (unsigned lane = 0; lane < lanes_; ++lane)
+        out[lane] = 0;
+    for (unsigned i = 0; i < bus.nets_.size(); ++i) {
+        uint64_t w = val64_[bus.nets_[i]];
+        for (unsigned lane = 0; lane < lanes_; ++lane)
+            out[lane] |= static_cast<uint32_t>((w >> lane) & 1ull)
+                         << i;
+    }
+}
+
+bool
+LaneBatch::netValue(NetId net, unsigned lane) const
+{
+    checkLane(lane);
+    if (net >= s_->nextNet)
+        panic("netValue: bad net %u", net);
+    return (val64_[net] >> lane) & 1ull;
+}
+
+void
+LaneBatch::enableToggles(bool on)
+{
+    countToggles_ = on;
+    toggles64_.assign(on ? s_->cells.size() * kMaxLanes : 0, 0);
+}
+
+std::vector<uint64_t>
+LaneBatch::toggleCounts(unsigned lane) const
+{
+    checkLane(lane);
+    if (!countToggles_)
+        panic("toggleCounts: enableToggles(true) first");
+    std::vector<uint64_t> out(s_->cells.size());
+    for (size_t c = 0; c < out.size(); ++c)
+        out[c] = toggles64_[c * kMaxLanes + lane];
+    return out;
+}
+
+} // namespace flexi

@@ -1,0 +1,161 @@
+/**
+ * @file
+ * 64-lane bit-parallel netlist evaluator.
+ *
+ * A LaneBatch binds up to 64 independent fault configurations (die
+ * defect sets, transient-fault schedules, latch upsets) to the bit
+ * lanes of one word-level simulation of a shared netlist structure.
+ * Net values become uint64_t words — bit L of word N is the value of
+ * net N in lane L — and one pass over the compiled evaluation plan
+ * simulates all lanes at once using branchless word ops (the WordOp
+ * compiled per plan step at elaborate() time).
+ *
+ * The batch mirrors the scalar Netlist instance state exactly, at
+ * bit granularity:
+ *
+ *  - stuck-at / transient force masks become per-lane mask and value
+ *    words (`mask64[net]`, `fval64[net]`), blended with the same
+ *    `v = (v & ~m) | (fval & m)` identity the scalar evaluator uses,
+ *  - DFF state is one word per flip-flop, committed with the same
+ *    force-masked blend on the Q net,
+ *  - toggle accumulation (opt-in, off by default in the hot paths)
+ *    counts per lane by iterating the set bits of the XOR between
+ *    old and new output words, so per-lane toggle counts are
+ *    bit-identical to a scalar run of the same faulted instance.
+ *
+ * Structure sharing follows clone(): the batch holds the same
+ * shared_ptr<Structure> as the golden netlist it was built from and
+ * allocates only per-batch state, so building a 64-die batch costs a
+ * few vector fills, not a netlist rebuild.
+ *
+ * Lanes above lanes() exist physically (they are bits of the same
+ * words) but are dead: their fault state can't be set, their values
+ * are never read, and the lane mask keeps toggle counting away from
+ * them. Differential tests pit this evaluator against both the
+ * scalar compiled plan and evaluateReference().
+ */
+
+#ifndef FLEXI_NETLIST_LANE_BATCH_HH
+#define FLEXI_NETLIST_LANE_BATCH_HH
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "netlist/netlist.hh"
+
+namespace flexi
+{
+
+class LaneBatch
+{
+  public:
+    static constexpr unsigned kMaxLanes = 64;
+
+    /**
+     * Build a batch of @p lanes lanes (1..64) over the structure of
+     * @p golden, which must be elaborated. Fault state starts empty;
+     * the batch is reset() to power-on values.
+     */
+    explicit LaneBatch(const Netlist &golden,
+                       unsigned lanes = kMaxLanes);
+
+    unsigned lanes() const { return lanes_; }
+    /** Bit mask with one bit set per bound lane (LSB = lane 0). */
+    uint64_t laneMask() const { return laneMask_; }
+    /** Clock edges seen since construction (monotonic, as scalar). */
+    uint64_t cycle() const { return cycle_; }
+    size_t numNets() const { return s_->nextNet; }
+    size_t numDffs() const { return s_->dffCells.size(); }
+
+    /** @name Per-lane fault state (mirrors Netlist exactly) */
+    ///@{
+    void injectFault(unsigned lane, const StuckFault &fault);
+    void clearFaults();
+    void injectTransient(unsigned lane, const TransientFault &fault);
+    void clearTransients();
+    /** Flip the stored state bit of DFF @p index in one lane. */
+    void flipDff(unsigned lane, size_t index);
+    ///@}
+
+    /** @name Simulation */
+    ///@{
+    /** All lanes back to power-on state; cycle() keeps counting. */
+    void reset();
+    void evaluate();
+    void clockEdge();
+    ///@}
+
+    /** @name Bus drive / sample */
+    ///@{
+    /** Drive the same value into an input bus on every lane. */
+    void setBus(const BusHandle &bus, unsigned value);
+    /**
+     * Drive one named primary input with a different bit per lane
+     * (bit L of @p lane_bits = lane L's value). Name-map lookup per
+     * call — differential-test convenience, not a hot path.
+     */
+    void setInputLanes(const std::string &name, uint64_t lane_bits);
+    /**
+     * Drive a different value per lane (values[0..lanes()-1]); dead
+     * lanes are driven with 0.
+     */
+    void setBusLanes(const BusHandle &bus, const uint32_t *values);
+    /** Sample a bus in one lane. */
+    unsigned bus(const BusHandle &bus, unsigned lane) const;
+    /** Sample a bus across all lanes into out[0..lanes()-1]. */
+    void gatherBus(const BusHandle &bus, uint32_t *out) const;
+    bool netValue(NetId net, unsigned lane) const;
+    ///@}
+
+    /** @name Per-lane toggle counting (opt-in) */
+    ///@{
+    /**
+     * Enable/disable per-lane toggle accumulation. Off by default:
+     * the population studies don't consume per-die activity, and
+     * counting costs a popcount loop per toggled cell. Enabling
+     * (re)zeroes the counters.
+     */
+    void enableToggles(bool on);
+    /**
+     * Toggle counts of one lane, per cell, in the same layout as
+     * Netlist::toggleCounts(). Requires enableToggles(true).
+     */
+    std::vector<uint64_t> toggleCounts(unsigned lane) const;
+    ///@}
+
+  private:
+    template <bool kToggles> void evaluateImpl();
+    void applyFaultForces();
+    void checkLane(unsigned lane) const;
+
+    /** One lane's stuck-at / transient fault record. */
+    struct LaneFault
+    {
+        unsigned lane;
+        StuckFault f;
+    };
+    struct LaneTransient
+    {
+        unsigned lane;
+        TransientFault f;
+    };
+
+    std::shared_ptr<const Netlist::Structure> s_;
+    unsigned lanes_;
+    uint64_t laneMask_;
+
+    std::vector<uint64_t> val64_;    ///< per net + trailing scratch 0
+    std::vector<uint64_t> dffState64_;
+    std::vector<uint64_t> mask64_;   ///< lane bit set where forced
+    std::vector<uint64_t> fval64_;
+    std::vector<LaneFault> faults_;
+    std::vector<LaneTransient> transients_;
+    uint64_t cycle_ = 0;
+    bool countToggles_ = false;
+    std::vector<uint64_t> toggles64_;   ///< [cell * 64 + lane]
+};
+
+} // namespace flexi
+
+#endif // FLEXI_NETLIST_LANE_BATCH_HH

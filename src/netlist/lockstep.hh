@@ -20,10 +20,12 @@
 #ifndef FLEXI_NETLIST_LOCKSTEP_HH
 #define FLEXI_NETLIST_LOCKSTEP_HH
 
+#include <array>
 #include <cstdint>
 #include <vector>
 
 #include "assembler/program.hh"
+#include "netlist/lane_batch.hh"
 #include "netlist/netlist.hh"
 
 namespace flexi
@@ -57,6 +59,44 @@ LockstepResult runLockstep(Netlist &netlist, IsaKind isa,
                            const Program &prog,
                            const std::vector<uint8_t> &inputs,
                            uint64_t max_instructions);
+
+/** Result of a batched lockstep run. */
+struct LockstepBatchResult
+{
+    uint64_t cycles = 0;
+    uint64_t instructions = 0;
+    /**
+     * Lanes whose PC and OPORT pads matched golden on every compared
+     * instruction (bit L = lane L still clean at exit).
+     */
+    uint64_t activeMask = 0;
+    /** Per-lane pad-mismatch count (as LockstepResult::errors). */
+    std::array<uint64_t, LaneBatch::kMaxLanes> errors{};
+};
+
+/**
+ * Drive all lanes of @p batch in lockstep with one shared golden
+ * CoreSim run of @p prog. Each lane fetches from its *own* PC pads
+ * (a faulty lane chases its own wrong-path instruction stream, as on
+ * the probe station) while the input port and the expected pads are
+ * shared — the harness compares every lane against the same golden
+ * trajectory that runLockstep uses, so per-lane error counts are
+ * bit-identical to running each faulted die through runLockstep.
+ *
+ * @param golden_netlist the elaborated netlist the batch was built
+ *        from (or any clone sharing its structure); used only to
+ *        resolve the pad buses
+ * @param early_exit retire a lane at its first pad mismatch (its
+ *        error count stops accumulating but stays >= 1) and stop the
+ *        whole batch once every lane has diverged. Exact per-lane
+ *        error totals are only preserved with early_exit = false.
+ */
+LockstepBatchResult runLockstepBatch(LaneBatch &batch,
+                                     const Netlist &golden_netlist,
+                                     IsaKind isa, const Program &prog,
+                                     const std::vector<uint8_t> &inputs,
+                                     uint64_t max_instructions,
+                                     bool early_exit);
 
 } // namespace flexi
 

@@ -53,6 +53,36 @@ lutFor(CellType type)
     return lut;
 }
 
+/** Word-parallel opcode matching the cell's boolean function. */
+WordOp
+wordOpFor(CellType type)
+{
+    switch (type) {
+      case CellType::INV_X1:
+      case CellType::INV_X2:
+        return WordOp::Inv;
+      case CellType::BUF_X1:
+      case CellType::BUF_X2:
+        return WordOp::Buf;
+      case CellType::NAND2:
+        return WordOp::Nand2;
+      case CellType::NAND3:
+        return WordOp::Nand3;
+      case CellType::NOR2:
+        return WordOp::Nor2;
+      case CellType::NOR3:
+        return WordOp::Nor3;
+      case CellType::XOR2:
+        return WordOp::Xor2;
+      case CellType::XNOR2:
+        return WordOp::Xnor2;
+      case CellType::MUX2:
+        return WordOp::Mux2;
+      default:
+        return WordOp::Lut;
+    }
+}
+
 } // namespace
 
 Netlist::Netlist(std::string name)
@@ -410,6 +440,7 @@ Netlist::compilePlan()
     plan.in.assign(3 * n, scratch);
     plan.out.resize(n);
     plan.lut.resize(n);
+    plan.wop.resize(n);
     plan.cell.resize(n);
     for (size_t i = 0; i < n; ++i) {
         size_t idx = s_->evalOrder[i];
@@ -418,6 +449,7 @@ Netlist::compilePlan()
             plan.in[3 * i + k] = cell.inputs[k];
         plan.out[i] = cell.output;
         plan.lut[i] = lutFor(cell.type);
+        plan.wop[i] = static_cast<uint8_t>(wordOpFor(cell.type));
         plan.cell[i] = static_cast<uint32_t>(idx);
     }
 

@@ -53,8 +53,34 @@
 namespace flexi
 {
 
+class LaneBatch;
+
 using NetId = uint32_t;
 constexpr NetId kNoNet = ~0u;
+
+/**
+ * Word-parallel opcode of one compiled plan step. elaborate()
+ * assigns each combinational cell the op matching its boolean
+ * function so the 64-lane evaluator (LaneBatch) can compute all 64
+ * lanes of a step in a handful of bitwise word instructions instead
+ * of 64 truth-table lookups. Lut is the generic fallback: expand the
+ * step's 8-bit truth table as a sum of minterms over the three input
+ * words (padded slots read the always-zero scratch word, exactly
+ * like the scalar index bits).
+ */
+enum class WordOp : uint8_t
+{
+    Buf,
+    Inv,
+    Nand2,
+    Nand3,
+    Nor2,
+    Nor3,
+    Xor2,
+    Xnor2,
+    Mux2,   ///< inputs {a, b, sel} -> sel ? b : a
+    Lut,
+};
 
 /** A standard-cell instance. */
 struct CellInst
@@ -116,6 +142,7 @@ class BusHandle
 
   private:
     friend class Netlist;
+    friend class LaneBatch;
     std::vector<NetId> nets_;   ///< LSB first
     bool input_ = false;
 };
@@ -368,6 +395,10 @@ class Netlist
     ///@}
 
   private:
+    /// The 64-lane word-parallel evaluator shares the structure and
+    /// mirrors the per-instance state at bit granularity.
+    friend class LaneBatch;
+
     /**
      * The compiled flat evaluation plan: combinational cells in
      * topological order with padded three-slot input indices, one
@@ -380,6 +411,7 @@ class Netlist
         std::vector<NetId> in;        ///< 3 slots per comb cell
         std::vector<NetId> out;       ///< output net per comb cell
         std::vector<uint8_t> lut;     ///< truth table per comb cell
+        std::vector<uint8_t> wop;     ///< WordOp per comb cell
         std::vector<uint32_t> cell;   ///< original cell index
         std::vector<NetId> dffD;
         std::vector<NetId> dffQ;

@@ -1,10 +1,12 @@
 #include "checked_run.hh"
 
 #include <algorithm>
+#include <array>
 #include <memory>
 
 #include "common/logging.hh"
 #include "isa/encoding.hh"
+#include "netlist/lane_batch.hh"
 #include "sim/core_sim.hh"
 #include "sim/environment.hh"
 #include "sim/mmu.hh"
@@ -458,6 +460,195 @@ runChecked(Netlist &die, const Program &prog,
 {
     CheckedRunner runner(die, prog, inputs, cfg, schedule);
     return runner.run();
+}
+
+PrescreenResult
+prescreenSchedules(const Netlist &golden_netlist, const Program &prog,
+                   const std::vector<uint8_t> &inputs,
+                   const CheckedRunConfig &cfg,
+                   const std::vector<const FaultSchedule *> &schedules)
+{
+    // One bit-parallel mirror of CheckedRunner::stepInstruction()
+    // with all protection stripped: flips before each fetch, per-lane
+    // fetch from the lane's own PC pads, per-lane frozen-PC tracking,
+    // and the boundary PC/OPORT compare against one shared golden
+    // trajectory. Any deviation retires the lane to the scalar path,
+    // so the shared state below (held input, MMU page) only ever has
+    // to be correct for lanes that are still tracking golden exactly.
+    unsigned lanes = static_cast<unsigned>(schedules.size());
+    if (lanes == 0 || lanes > LaneBatch::kMaxLanes)
+        fatal("prescreenSchedules: bad lane count %u", lanes);
+    LaneBatch batch(golden_netlist, lanes);
+
+    bool wide = cfg.isa == IsaKind::ExtAcc4 ||
+                cfg.isa == IsaKind::LoadStore4;
+    bool wordPc = cfg.isa == IsaKind::LoadStore4;
+    unsigned width = isaDataWidth(cfg.isa);
+    BusHandle pcBus = golden_netlist.outputBus("pc", 7);
+    BusHandle instrBus =
+        golden_netlist.inputBus("instr", wide ? 16 : 8);
+    BusHandle iportBus = golden_netlist.inputBus("iport", width);
+    BusHandle oportBus = golden_netlist.outputBus("oport", width);
+
+    bool multiPage = prog.numPages() > 1;
+    HeldInputEnv env;
+    std::unique_ptr<PagedEnvironment> paged;
+    if (multiPage)
+        paged = std::make_unique<PagedEnvironment>(env);
+    TimingConfig tcfg;
+    tcfg.isa = cfg.isa;
+    CoreSim golden(tcfg, prog,
+                   paged ? static_cast<Environment &>(*paged)
+                         : static_cast<Environment &>(env));
+
+    uint64_t maxCycles = cfg.maxCycles
+                             ? cfg.maxCycles
+                             : cfg.maxInstructions * 8 + 1024;
+
+    size_t numDffs = batch.numDffs();
+    std::vector<std::vector<FaultSchedule::DffFlip>> flips(lanes);
+    for (unsigned lane = 0; lane < lanes; ++lane) {
+        for (const auto &t : schedules[lane]->transients)
+            batch.injectTransient(lane, t);
+        flips[lane] = schedules[lane]->flips;
+        std::sort(flips[lane].begin(), flips[lane].end(),
+                  [](const FaultSchedule::DffFlip &a,
+                     const FaultSchedule::DffFlip &b) {
+                      return a.cycle < b.cycle;
+                  });
+    }
+    std::array<size_t, LaneBatch::kMaxLanes> flipIdx{};
+
+    // A clean lane emits golden's exact output values, so one shared
+    // mirror MMU fed those values reproduces every clean lane's page
+    // trajectory; a lane whose value differs is retired the same
+    // instruction by the pad compare below.
+    Mmu mirrorMmu;
+    unsigned mirrorPage = 0;
+    static const std::vector<uint8_t> kUnmappedPage;
+
+    uint64_t active = batch.laneMask();
+    std::array<uint32_t, LaneBatch::kMaxLanes> diePc{};
+    std::array<uint32_t, LaneBatch::kMaxLanes> dieInstr{};
+    std::array<uint32_t, LaneBatch::kMaxLanes> dieOport{};
+    std::array<uint32_t, LaneBatch::kMaxLanes> lastPc;
+    lastPc.fill(kNoPc);
+    std::array<uint64_t, LaneBatch::kMaxLanes> frozen{};
+    size_t inputIdx = 0;
+
+    PrescreenResult res;
+    uint64_t instructions = 0;
+
+    auto isDone = [&]() {
+        if (golden.halted())
+            return true;
+        return cfg.targetOutputs != 0 &&
+               env.outputs.size() >= cfg.targetOutputs;
+    };
+
+    while (true) {
+        if (isDone()) {
+            res.completed = true;
+            break;
+        }
+        if (instructions >= cfg.maxInstructions ||
+            res.cycles >= maxCycles)
+            break;
+        if (!active)
+            break;
+
+        const std::vector<uint8_t> &gimage =
+            prog.page(golden.page());
+        DecodeResult dec = decodeAt(cfg.isa, gimage, golden.pc());
+        if (readsInput(dec.inst) && inputIdx < inputs.size())
+            env.held = inputs[inputIdx++] &
+                       static_cast<uint8_t>((1u << width) - 1u);
+
+        const std::vector<uint8_t> &dimage =
+            mirrorPage < prog.numPages() ? prog.page(mirrorPage)
+                                         : kUnmappedPage;
+        auto fetch = [&](unsigned addr) -> uint8_t {
+            return addr < dimage.size() ? dimage[addr] : 0;
+        };
+
+        unsigned cycles = wide ? 1 : dec.bytes;
+        for (unsigned c = 0; c < cycles; ++c) {
+            for (unsigned lane = 0; lane < lanes; ++lane) {
+                while (flipIdx[lane] < flips[lane].size() &&
+                       flips[lane][flipIdx[lane]].cycle <=
+                           batch.cycle()) {
+                    if (numDffs)
+                        batch.flipDff(lane,
+                                      flips[lane][flipIdx[lane]].dff %
+                                          numDffs);
+                    ++flipIdx[lane];
+                }
+                unsigned pcv = diePc[lane];
+                if (wide) {
+                    unsigned base = wordPc ? pcv * 2 : pcv;
+                    dieInstr[lane] =
+                        fetch(base) |
+                        static_cast<unsigned>(fetch(base + 1)) << 8;
+                } else {
+                    dieInstr[lane] = fetch(pcv);
+                }
+            }
+            batch.setBusLanes(instrBus, dieInstr.data());
+            batch.setBus(iportBus, env.held);
+            batch.evaluate();
+            batch.clockEdge();
+            batch.evaluate();   // expose new state on the pads
+            ++res.cycles;
+            batch.gatherBus(pcBus, diePc.data());
+
+            for (unsigned lane = 0; lane < lanes; ++lane) {
+                if (!((active >> lane) & 1))
+                    continue;
+                if (diePc[lane] == lastPc[lane]) {
+                    ++frozen[lane];
+                } else {
+                    frozen[lane] = 0;
+                    lastPc[lane] = diePc[lane];
+                }
+                // An armed watchdog would fire here in the scalar
+                // runner; that lane's trajectory is no longer the
+                // unprotected one, so hand it to the scalar path.
+                if (cfg.detectors.watchdog &&
+                    frozen[lane] ==
+                        cfg.detectors.watchdogCycles + 1)
+                    active &= ~(1ull << lane);
+            }
+        }
+
+        uint64_t prevIo = golden.stats().ioWrites;
+        uint64_t prevTb = golden.stats().takenBranches;
+        golden.step();
+        ++instructions;
+
+        if (multiPage) {
+            if (golden.stats().ioWrites != prevIo)
+                (void)mirrorMmu.onOutput(
+                    static_cast<uint8_t>(golden.outputLatch()));
+            if (golden.stats().takenBranches != prevTb) {
+                int p = mirrorMmu.takePendingPage();
+                if (p >= 0)
+                    mirrorPage = static_cast<unsigned>(p);
+            }
+        }
+
+        batch.gatherBus(oportBus, dieOport.data());
+        unsigned gpc = golden.pc();
+        unsigned gout = golden.outputLatch();
+        for (unsigned lane = 0; lane < lanes; ++lane) {
+            if (!((active >> lane) & 1))
+                continue;
+            if (diePc[lane] != gpc || dieOport[lane] != gout)
+                active &= ~(1ull << lane);
+        }
+    }
+
+    res.cleanMask = res.completed ? active : 0;
+    return res;
 }
 
 } // namespace flexi

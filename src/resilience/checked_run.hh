@@ -147,6 +147,48 @@ CheckedRunResult runChecked(Netlist &die, const Program &prog,
                             const CheckedRunConfig &cfg,
                             const FaultSchedule &schedule = {});
 
+/** Result of a batched lockstep prescreen of fault schedules. */
+struct PrescreenResult
+{
+    /**
+     * Lanes proven clean: the die's PC/OPORT pads matched golden at
+     * every instruction boundary, the PC never froze past an armed
+     * watchdog, and the run completed within budget. A clean lane's
+     * full runChecked() result is known without running it: outcome
+     * Completed, outputs correct, zero detections/retries/restarts,
+     * and cycles equal to the prescreen's cycle count.
+     */
+    uint64_t cleanMask = 0;
+    /** Die cycles driven (the clean lanes' runChecked cycles). */
+    uint64_t cycles = 0;
+    /** Golden run reached done() within the instruction/cycle
+     *  budgets (false means every lane must be re-run). */
+    bool completed = false;
+};
+
+/**
+ * Drive up to 64 fault schedules through one shared unprotected
+ * lockstep pass of @p prog on a LaneBatch of @p golden's structure,
+ * and prove which lanes a scalar runChecked() under @p cfg would
+ * classify as fault-free behaviour (no divergence from golden, no
+ * detector able to fire). Lanes NOT in cleanMask have diverged — or
+ * could not be proven clean — and must be re-run through the scalar
+ * runChecked() for their exact outcome; lanes in cleanMask need not.
+ *
+ * The prescreen is sound for any DetectorConfig/RecoveryPolicy in
+ * @p cfg because detectors and recovery only alter a run's
+ * trajectory after a detection, and a clean lane can never trigger
+ * one: the lockstep and final output compares see no mismatch, the
+ * output CRC streams are identical at every checkpoint, and lanes
+ * whose PC freezes past an armed watchdog are retired to the scalar
+ * path.
+ */
+PrescreenResult
+prescreenSchedules(const Netlist &golden, const Program &prog,
+                   const std::vector<uint8_t> &inputs,
+                   const CheckedRunConfig &cfg,
+                   const std::vector<const FaultSchedule *> &schedules);
+
 /** Incremental CRC-8 (poly 0x07) used by the output detector. */
 uint8_t crc8(uint8_t crc, uint8_t byte);
 

@@ -1,5 +1,6 @@
 #include "fault_campaign.hh"
 
+#include <algorithm>
 #include <memory>
 
 #include "assembler/assembler.hh"
@@ -9,6 +10,7 @@
 #include "kernels/fc8_programs.hh"
 #include "kernels/inputs.hh"
 #include "netlist/flexicore_netlist.hh"
+#include "netlist/lane_batch.hh"
 
 namespace flexi
 {
@@ -205,16 +207,74 @@ runFaultCampaign(const CampaignConfig &config)
     }
 
     result.injections.resize(config.injections);
+
+    // Every schedule is a pure function of (seed, index, netlist,
+    // baseline) — generate them all up front so the bit-parallel
+    // prescreen can bind them to lanes.
+    std::vector<std::pair<FaultKind, FaultSchedule>> sched(
+        config.injections);
     parallelFor(config.injections, config.threads, [&](size_t i) {
-        auto [kind, sched] =
-            makeSchedule(config, *golden, result.baselineCycles,
-                         static_cast<unsigned>(i));
+        sched[i] = makeSchedule(config, *golden,
+                                result.baselineCycles,
+                                static_cast<unsigned>(i));
+    });
+
+    // Phase 1: 64-lane lockstep prescreen. Most injections are
+    // masked — the upset lands in logic the workload never exercises
+    // — and a masked run is exactly one unprotected golden-tracking
+    // pass, so one word-parallel pass settles up to 64 of them at
+    // once. Lanes the prescreen cannot prove clean fall through to
+    // the scalar checked runtime, whose results are authoritative;
+    // batch membership is a pure function of injection index, so
+    // thread count and lane width cannot change any outcome.
+    unsigned lanes = std::min<unsigned>(
+        config.batchLanes ? config.batchLanes : 1,
+        LaneBatch::kMaxLanes);
+    std::vector<uint8_t> screened(config.injections, 0);
+    if (lanes > 1) {
+        size_t num_batches = (config.injections + lanes - 1) / lanes;
+        parallelFor(num_batches, config.threads, [&](size_t b) {
+            size_t begin = b * lanes;
+            unsigned n = static_cast<unsigned>(std::min<size_t>(
+                lanes, config.injections - begin));
+            std::vector<const FaultSchedule *> group(n);
+            for (unsigned lane = 0; lane < n; ++lane)
+                group[lane] = &sched[begin + lane].second;
+            PrescreenResult ps = prescreenSchedules(
+                *golden, work.prog, work.inputs, runCfg, group);
+            for (unsigned lane = 0; lane < n; ++lane) {
+                if (!((ps.cleanMask >> lane) & 1))
+                    continue;
+                size_t i = begin + lane;
+                InjectionResult &inj = result.injections[i];
+                inj.kind = sched[i].first;
+                inj.outcome = FaultOutcome::Masked;
+                inj.runOutcome = CheckedOutcome::Completed;
+                inj.outputsCorrect = true;
+                inj.detections = 0;
+                inj.retries = 0;
+                inj.restarts = 0;
+                inj.cycles = ps.cycles;
+                inj.firstDetector.clear();
+                screened[i] = 1;
+            }
+        });
+    }
+
+    // Phase 2: scalar checked runs for everything else.
+    std::vector<size_t> pending;
+    for (size_t i = 0; i < screened.size(); ++i)
+        if (!screened[i])
+            pending.push_back(i);
+    parallelFor(pending.size(), config.threads, [&](size_t k) {
+        size_t i = pending[k];
         std::unique_ptr<Netlist> die = golden->clone();
-        CheckedRunResult run =
-            runChecked(*die, work.prog, work.inputs, runCfg, sched);
+        CheckedRunResult run = runChecked(*die, work.prog,
+                                          work.inputs, runCfg,
+                                          sched[i].second);
 
         InjectionResult &inj = result.injections[i];
-        inj.kind = kind;
+        inj.kind = sched[i].first;
         inj.outcome = classify(run, config);
         inj.runOutcome = run.outcome;
         inj.outputsCorrect = run.outputsCorrect;

@@ -1,5 +1,6 @@
 #include "wafer_study.hh"
 
+#include <algorithm>
 #include <cmath>
 #include <memory>
 
@@ -63,7 +64,7 @@ templateNetlist(IsaKind isa)
 DieProbe
 probeDie(const DieModel &model, const DieSample &die, double vdd,
          const WaferStudyConfig &cfg, Netlist *faulty_netlist,
-         const Program &test_prog,
+         bool gate_deferred, const Program &test_prog,
          const std::vector<uint8_t> &test_inputs, Rng &rng)
 {
     DieProbe probe;
@@ -71,7 +72,13 @@ probeDie(const DieModel &model, const DieSample &die, double vdd,
 
     uint64_t errors = 0;
     if (die.hasDefects()) {
-        if (cfg.gateLevelErrors && faulty_netlist) {
+        if (gate_deferred) {
+            // Gate-level errors are added by the batched lane phase
+            // after all dies are sampled. Crucially this branch
+            // consumes no RNG draws — neither does the immediate
+            // gate-level branch below — so the per-die stream stays
+            // aligned with the scalar path.
+        } else if (cfg.gateLevelErrors && faulty_netlist) {
             // Each probe is self-contained: runLockstep re-resets
             // the DFF state, and clearing the toggle counters here
             // keeps the probes from accumulating into each other's
@@ -171,6 +178,13 @@ runWaferStudy(const WaferStudyConfig &config)
     result.spec = spec;
     result.dies.resize(wafer.numDies());
 
+    // Lane batching applies to the gate-level fault sim only; 1
+    // forces the scalar clone-per-die path.
+    unsigned lanes = std::min<unsigned>(
+        config.batchLanes ? config.batchLanes : 1,
+        LaneBatch::kMaxLanes);
+    const bool batched = golden && lanes > 1;
+
     const std::vector<DieSite> &sites = wafer.sites();
     parallelFor(sites.size(), config.threads, [&](size_t i) {
         const DieSite &site = sites[i];
@@ -184,29 +198,68 @@ runWaferStudy(const WaferStudyConfig &config)
         die.site = site;
         die.sample = model.sample(site, wafer, rng);
 
-        // Clone the golden netlist and break it (if the die has
-        // defects); probe at both voltages like the real test flow.
+        // Draw the die's defects (if any). The scalar path breaks a
+        // clone of the golden netlist right away; the batched path
+        // only records the fault list and binds it to a lane later —
+        // the RNG draws are identical either way.
         std::unique_ptr<Netlist> faulty;
         if (die.sample.hasDefects() && golden) {
-            faulty = golden->clone();
+            if (!batched)
+                faulty = golden->clone();
             for (unsigned d = 0; d < die.sample.defects; ++d) {
                 NetId net = static_cast<NetId>(
-                    rng.below(faulty->numNets()));
+                    rng.below(golden->numNets()));
                 StuckFault fault{net, rng.chance(0.5)};
-                faulty->injectFault(fault);
+                if (faulty)
+                    faulty->injectFault(fault);
                 die.faults.push_back(fault);
             }
         }
 
         die.at45V = probeDie(model, die.sample, kVddNominal, config,
-                             faulty.get(), test_prog, test_inputs,
-                             rng);
+                             faulty.get(), batched, test_prog,
+                             test_inputs, rng);
         if (faulty)
             faulty->reset();
         die.at3V = probeDie(model, die.sample, kVddLow, config,
-                            faulty.get(), test_prog, test_inputs,
-                            rng);
+                            faulty.get(), batched, test_prog,
+                            test_inputs, rng);
     });
+
+    if (batched) {
+        // Phase 2: gate-level fault sim of the defective dies, up to
+        // 64 to a word. Batch membership is a pure function of die
+        // index order (thread count cannot perturb it), each lane's
+        // lockstep error count is bit-identical to a scalar
+        // runLockstep of the same faulted die, and both voltage
+        // probes receive the same count — exactly what the scalar
+        // path computes by running the identical deterministic
+        // lockstep once per voltage.
+        std::vector<size_t> defective;
+        for (size_t i = 0; i < result.dies.size(); ++i)
+            if (result.dies[i].sample.hasDefects())
+                defective.push_back(i);
+        size_t num_batches = (defective.size() + lanes - 1) / lanes;
+        parallelFor(num_batches, config.threads, [&](size_t b) {
+            size_t begin = b * lanes;
+            unsigned n = static_cast<unsigned>(std::min<size_t>(
+                lanes, defective.size() - begin));
+            LaneBatch batch(*golden, n);
+            for (unsigned lane = 0; lane < n; ++lane)
+                for (const StuckFault &f :
+                     result.dies[defective[begin + lane]].faults)
+                    batch.injectFault(lane, f);
+            LockstepBatchResult res = runLockstepBatch(
+                batch, *golden, config.isa, test_prog, test_inputs,
+                config.testCycles, config.earlyExit);
+            for (unsigned lane = 0; lane < n; ++lane) {
+                DieResult &die =
+                    result.dies[defective[begin + lane]];
+                die.at45V.errors += res.errors[lane];
+                die.at3V.errors += res.errors[lane];
+            }
+        });
+    }
     return result;
 }
 

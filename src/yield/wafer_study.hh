@@ -69,6 +69,25 @@ struct WaferStudyConfig
      * site.index), so results are bit-identical for any value.
      */
     unsigned threads = 0;
+    /**
+     * Bit-parallel lanes for the gate-level fault sim of defective
+     * dies: dies are packed up to batchLanes to a LaneBatch word and
+     * fault-simulated together; 1 forces the scalar clone-per-die
+     * path. Every die still draws from its own (seed, site.index)
+     * RNG stream and the lockstep error counts are lane-exact, so
+     * yields, per-die error counts, and fault lists are
+     * bit-identical for any value.
+     */
+    unsigned batchLanes = 64;
+    /**
+     * Retire a defective die's lane at its first pad mismatch
+     * instead of counting mismatches across the whole vector suite
+     * (batched gate-level path only). Yields are unchanged —
+     * functional() only asks errors == 0 — but per-die error counts
+     * become lower bounds; off by default to keep the probe-station
+     * error statistics exact.
+     */
+    bool earlyExit = false;
     DieModelParams params;
 };
 

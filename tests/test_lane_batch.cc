@@ -1,0 +1,337 @@
+/**
+ * @file
+ * Differential tests for the 64-lane bit-parallel evaluator.
+ *
+ * The contract under test: every lane of a LaneBatch is bit-identical
+ * to a scalar Netlist instance carrying the same fault state and
+ * stimulus — against both the compiled evaluation plan (evaluate())
+ * and the cell-by-cell interpreter (evaluateReference()) — on all
+ * four fabricated cores, for full and partially-filled batches, down
+ * to per-lane toggle counts. The batched lockstep harness must
+ * likewise reproduce runLockstep() per lane.
+ */
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "common/rng.hh"
+#include "netlist/flexicore_netlist.hh"
+#include "netlist/lane_batch.hh"
+#include "netlist/lockstep.hh"
+#include "netlist/netlist.hh"
+#include "yield/test_program.hh"
+
+namespace flexi
+{
+namespace
+{
+
+struct Design
+{
+    const char *name;
+    std::unique_ptr<Netlist> (*build)();
+};
+
+const Design kDesigns[] = {
+    {"fc4", &buildFlexiCore4Netlist},
+    {"fc8", &buildFlexiCore8Netlist},
+    {"extacc4", &buildExtAcc4Netlist},
+    {"loadstore4", &buildLoadStore4Netlist},
+};
+
+/**
+ * Drive a @p width lane batch and @p width scalar mirrors with the
+ * same random stimulus and per-lane fault schedule for @p cycles
+ * cycles, asserting every net of every lane matches after each
+ * evaluate. Scalar mirrors run the compiled plan; a sample of lanes
+ * additionally carries an evaluateReference() mirror so the word
+ * evaluator is pitted against both scalar oracles at once.
+ */
+void
+runDifferential(const Design &design, unsigned width, int cycles,
+                uint64_t seed)
+{
+    auto golden = design.build();
+    LaneBatch batch(*golden, width);
+    ASSERT_EQ(batch.lanes(), width);
+    batch.enableToggles(true);
+
+    // Per-lane scalar mirrors of the compiled plan, plus reference
+    // (interpreter) mirrors on the first, middle and last lanes.
+    std::vector<std::unique_ptr<Netlist>> mirrors(width);
+    std::vector<std::unique_ptr<Netlist>> refs(width);
+    for (unsigned lane = 0; lane < width; ++lane) {
+        mirrors[lane] = golden->clone();
+        if (lane == 0 || lane == width / 2 || lane == width - 1)
+            refs[lane] = golden->clone();
+    }
+
+    std::vector<std::string> input_names;
+    for (const auto &[in_name, net] : golden->primaryInputs())
+        input_names.push_back(in_name);
+    size_t nets = golden->numNets();
+    size_t dffs = golden->numDffs() ? golden->numDffs() : 1;
+
+    Rng rng(deriveSeed(seed, width));
+    for (int cycle = 0; cycle < cycles; ++cycle) {
+        // Independent random stimulus per lane on every input.
+        for (const auto &in_name : input_names) {
+            uint64_t bits = rng.next();
+            batch.setInputLanes(in_name, bits);
+            for (unsigned lane = 0; lane < width; ++lane) {
+                bool v = (bits >> lane) & 1ull;
+                mirrors[lane]->setInput(in_name, v);
+                if (refs[lane])
+                    refs[lane]->setInput(in_name, v);
+            }
+        }
+
+        // Per-lane fault traffic: stuck-ats land on random lanes
+        // early, transients open short absolute-cycle windows
+        // mid-run, latch upsets flip, then everything is cleared so
+        // the post-clear state is compared too.
+        if (cycle % 6 == 2 && cycle < cycles / 2) {
+            for (unsigned lane = 0; lane < width; ++lane) {
+                if (!rng.chance(0.4))
+                    continue;
+                StuckFault f;
+                f.net = static_cast<NetId>(rng.below(nets));
+                f.value = rng.chance(0.5);
+                batch.injectFault(lane, f);
+                mirrors[lane]->injectFault(f);
+                if (refs[lane])
+                    refs[lane]->injectFault(f);
+            }
+        }
+        if (cycle % 9 == 4) {
+            for (unsigned lane = 0; lane < width; ++lane) {
+                if (!rng.chance(0.4))
+                    continue;
+                TransientFault t;
+                t.net = static_cast<NetId>(rng.below(nets));
+                t.value = rng.chance(0.5);
+                t.fromCycle = batch.cycle() + rng.below(3);
+                t.untilCycle = t.fromCycle + 1 + rng.below(3);
+                batch.injectTransient(lane, t);
+                mirrors[lane]->injectTransient(t);
+                if (refs[lane])
+                    refs[lane]->injectTransient(t);
+            }
+        }
+        if (cycle % 11 == 7) {
+            for (unsigned lane = 0; lane < width; ++lane) {
+                if (!rng.chance(0.3))
+                    continue;
+                size_t d = rng.below(dffs);
+                batch.flipDff(lane, d);
+                mirrors[lane]->flipDff(d);
+                if (refs[lane])
+                    refs[lane]->flipDff(d);
+            }
+        }
+        if (cycle == (2 * cycles) / 3) {
+            batch.clearFaults();
+            batch.clearTransients();
+            for (unsigned lane = 0; lane < width; ++lane) {
+                mirrors[lane]->clearFaults();
+                mirrors[lane]->clearTransients();
+                if (refs[lane]) {
+                    refs[lane]->clearFaults();
+                    refs[lane]->clearTransients();
+                }
+            }
+        }
+
+        batch.evaluate();
+        batch.clockEdge();
+        batch.evaluate();
+        for (unsigned lane = 0; lane < width; ++lane) {
+            mirrors[lane]->evaluate();
+            mirrors[lane]->clockEdge();
+            mirrors[lane]->evaluate();
+            if (refs[lane]) {
+                refs[lane]->evaluateReference();
+                refs[lane]->clockEdge();
+                refs[lane]->evaluateReference();
+            }
+        }
+        ASSERT_EQ(batch.cycle(), mirrors[0]->cycle());
+
+        for (unsigned lane = 0; lane < width; ++lane) {
+            for (NetId n = 0; n < static_cast<NetId>(nets); ++n) {
+                bool b = batch.netValue(n, lane);
+                if (b != mirrors[lane]->netValue(n)) {
+                    FAIL() << design.name << " width " << width
+                           << " cycle " << cycle << " lane " << lane
+                           << " net " << n << ": batch " << b
+                           << " vs scalar plan";
+                }
+                if (refs[lane] && b != refs[lane]->netValue(n)) {
+                    FAIL() << design.name << " width " << width
+                           << " cycle " << cycle << " lane " << lane
+                           << " net " << n << ": batch " << b
+                           << " vs reference";
+                }
+            }
+        }
+    }
+
+    // Per-lane toggle counts, accumulated over the whole faulted
+    // run, against both oracles.
+    for (unsigned lane = 0; lane < width; ++lane) {
+        ASSERT_EQ(batch.toggleCounts(lane),
+                  mirrors[lane]->toggleCounts())
+            << design.name << " width " << width << " lane " << lane;
+        if (refs[lane])
+            ASSERT_EQ(batch.toggleCounts(lane),
+                      refs[lane]->toggleCounts())
+                << design.name << " width " << width << " lane "
+                << lane << " (reference)";
+    }
+}
+
+TEST(LaneBatch, FullBatchMatchesScalarAndReferenceAllCores)
+{
+    for (const auto &design : kDesigns) {
+        SCOPED_TRACE(design.name);
+        runDifferential(design, LaneBatch::kMaxLanes, 36, 0xB17Au);
+    }
+}
+
+TEST(LaneBatch, PartialBatchWidths)
+{
+    // A one-lane batch is the degenerate scalar case; 63 lanes
+    // leaves a dead top lane whose word bits must never leak into
+    // live lanes (fault words, toggle masks, bus gathers).
+    const Design &fc4 = kDesigns[0];
+    runDifferential(fc4, 1, 40, 0x1AB0u);
+    runDifferential(fc4, 63, 40, 0x63AB0u);
+}
+
+TEST(LaneBatch, UniformBusDriveMatchesScalar)
+{
+    // setBus (same value on every lane) against scalar setBus, with
+    // a per-lane fault so lanes still diverge internally.
+    auto golden = buildFlexiCore4Netlist();
+    BusHandle instr = golden->inputBus("instr", 8);
+    LaneBatch batch(*golden, 8);
+    std::vector<std::unique_ptr<Netlist>> mirrors(8);
+    for (unsigned lane = 0; lane < 8; ++lane) {
+        mirrors[lane] = golden->clone();
+        StuckFault f;
+        f.net = static_cast<NetId>(3 + 5 * lane);
+        f.value = (lane & 1) != 0;
+        batch.injectFault(lane, f);
+        mirrors[lane]->injectFault(f);
+    }
+    BusHandle pc = golden->outputBus("pc", 7);
+    for (unsigned v = 0; v < 32; ++v) {
+        batch.setBus(instr, v * 37 % 256);
+        batch.evaluate();
+        batch.clockEdge();
+        batch.evaluate();
+        for (unsigned lane = 0; lane < 8; ++lane) {
+            mirrors[lane]->setBus(instr, v * 37 % 256);
+            mirrors[lane]->evaluate();
+            mirrors[lane]->clockEdge();
+            mirrors[lane]->evaluate();
+            ASSERT_EQ(batch.bus(pc, lane), mirrors[lane]->bus(pc))
+                << "value " << v << " lane " << lane;
+        }
+    }
+}
+
+TEST(LaneBatch, ResetRestoresPowerOnState)
+{
+    auto golden = buildFlexiCore4Netlist();
+    LaneBatch batch(*golden, 4);
+    StuckFault f{static_cast<NetId>(7), true};
+    batch.injectFault(2, f);
+    for (int i = 0; i < 10; ++i) {
+        batch.evaluate();
+        batch.clockEdge();
+    }
+    uint64_t before = batch.cycle();
+    batch.reset();
+    EXPECT_EQ(batch.cycle(), before)
+        << "cycle() is monotonic across reset, as on the scalar";
+
+    // A freshly-built scalar with the same fault must agree from the
+    // first post-reset cycle.
+    auto mirror = golden->clone();
+    mirror->injectFault(f);
+    mirror->reset();
+    batch.evaluate();
+    mirror->evaluate();
+    for (NetId n = 0; n < static_cast<NetId>(golden->numNets()); ++n)
+        ASSERT_EQ(batch.netValue(n, 2), mirror->netValue(n))
+            << "net " << n;
+}
+
+TEST(LaneBatch, LockstepBatchMatchesScalarLockstep)
+{
+    // The wafer-study inner loop: per-lane error totals from one
+    // batched lockstep pass equal 64 scalar runLockstep() runs with
+    // the same per-die fault sets (early_exit=false => exact totals).
+    auto golden = buildFlexiCore4Netlist();
+    Program prog = makeTestProgram(IsaKind::FlexiCore4, 3);
+    auto inputs = makeTestInputs(IsaKind::FlexiCore4, 128, 3);
+    const uint64_t kBudget = 300;
+
+    Rng rng(0xD1E5EEDull);
+    unsigned width = 24;
+    LaneBatch batch(*golden, width);
+    std::vector<std::vector<StuckFault>> faults(width);
+    for (unsigned lane = 0; lane < width; ++lane) {
+        // Lane 0 stays fault-free; others get 1-3 stuck-ats.
+        unsigned n = lane ? 1 + static_cast<unsigned>(rng.below(3))
+                          : 0;
+        for (unsigned k = 0; k < n; ++k) {
+            StuckFault f;
+            f.net =
+                static_cast<NetId>(rng.below(golden->numNets()));
+            f.value = rng.chance(0.5);
+            faults[lane].push_back(f);
+            batch.injectFault(lane, f);
+        }
+    }
+
+    LockstepBatchResult res = runLockstepBatch(
+        batch, *golden, IsaKind::FlexiCore4, prog, inputs, kBudget,
+        /*early_exit=*/false);
+
+    for (unsigned lane = 0; lane < width; ++lane) {
+        auto die = golden->clone();
+        for (const StuckFault &f : faults[lane])
+            die->injectFault(f);
+        LockstepResult scalar = runLockstep(
+            *die, IsaKind::FlexiCore4, prog, inputs, kBudget);
+        EXPECT_EQ(res.errors[lane], scalar.errors) << "lane " << lane;
+        EXPECT_EQ(((res.activeMask >> lane) & 1ull) != 0,
+                  scalar.errors == 0)
+            << "lane " << lane;
+    }
+    EXPECT_TRUE(res.activeMask & 1ull)
+        << "fault-free lane 0 must stay clean";
+
+    // Early exit must not change which lanes are clean, only how
+    // much error counting the dirty lanes receive.
+    LaneBatch batch2(*golden, width);
+    for (unsigned lane = 0; lane < width; ++lane)
+        for (const StuckFault &f : faults[lane])
+            batch2.injectFault(lane, f);
+    LockstepBatchResult fast = runLockstepBatch(
+        batch2, *golden, IsaKind::FlexiCore4, prog, inputs, kBudget,
+        /*early_exit=*/true);
+    EXPECT_EQ(fast.activeMask, res.activeMask);
+    for (unsigned lane = 0; lane < width; ++lane) {
+        EXPECT_LE(fast.errors[lane], res.errors[lane]) << lane;
+        if ((res.activeMask >> lane) & 1ull)
+            EXPECT_EQ(fast.errors[lane], 0u) << lane;
+    }
+}
+
+} // namespace
+} // namespace flexi

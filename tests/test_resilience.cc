@@ -344,6 +344,50 @@ TEST(FaultCampaign, ThreadCountDoesNotChangeResults)
     }
 }
 
+TEST(FaultCampaign, BatchLanesBitIdenticalToScalar)
+{
+    // The word-parallel prescreen only settles injections it can
+    // prove masked; everything else falls through to the scalar
+    // checked runtime. Net effect: per-injection results are
+    // bit-identical between a fully scalar campaign (batchLanes=1)
+    // and any batched one, across all result fields.
+    CampaignConfig cfg;
+    cfg.isa = IsaKind::FlexiCore4;
+    cfg.seed = 9;
+    cfg.injections = 40;
+    cfg.threads = 1;
+    cfg.batchLanes = 1;
+    CampaignResult scalar = runFaultCampaign(cfg);
+    cfg.batchLanes = 64;
+    CampaignResult batched = runFaultCampaign(cfg);
+    cfg.batchLanes = 5;   // ragged batches
+    cfg.threads = 4;
+    CampaignResult ragged = runFaultCampaign(cfg);
+
+    EXPECT_EQ(scalar.baselineCycles, batched.baselineCycles);
+    ASSERT_EQ(scalar.injections.size(), batched.injections.size());
+    ASSERT_EQ(scalar.injections.size(), ragged.injections.size());
+    for (size_t i = 0; i < scalar.injections.size(); ++i) {
+        const InjectionResult &a = scalar.injections[i];
+        for (const InjectionResult *b :
+             {&batched.injections[i], &ragged.injections[i]}) {
+            EXPECT_EQ(a.kind, b->kind) << i;
+            EXPECT_EQ(a.outcome, b->outcome) << i;
+            EXPECT_EQ(a.runOutcome, b->runOutcome) << i;
+            EXPECT_EQ(a.outputsCorrect, b->outputsCorrect) << i;
+            EXPECT_EQ(a.detections, b->detections) << i;
+            EXPECT_EQ(a.retries, b->retries) << i;
+            EXPECT_EQ(a.restarts, b->restarts) << i;
+            EXPECT_EQ(a.cycles, b->cycles) << i;
+            EXPECT_EQ(a.firstDetector, b->firstDetector) << i;
+        }
+    }
+    // The prescreen must actually be doing work on this seed, not
+    // vacuously agreeing because nothing screened clean.
+    CampaignCounts c = scalar.counts();
+    EXPECT_GT(c[FaultOutcome::Masked], 0u);
+}
+
 TEST(FaultCampaign, ExercisesAllFaultKinds)
 {
     CampaignConfig cfg;

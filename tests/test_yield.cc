@@ -418,6 +418,43 @@ TEST(WaferStudy, ThreadCountDoesNotChangeResults)
     }
 }
 
+TEST(WaferStudy, BatchedLanesBitIdenticalToScalar)
+{
+    // The acceptance bar for the 64-lane bit-parallel probe loop:
+    // packing defective dies into word lanes is a pure execution
+    // strategy — per-die defect draws, error counts and currents are
+    // bit-identical to the scalar clone-per-die path, for any lane
+    // width and thread count.
+    WaferStudyConfig cfg;
+    cfg.isa = IsaKind::FlexiCore4;
+    cfg.seed = 11;
+    cfg.testCycles = 400;
+    cfg.gateLevelErrors = true;
+    cfg.threads = 1;
+    cfg.batchLanes = 1;
+    auto scalar = runWaferStudy(cfg);
+    cfg.batchLanes = 64;
+    auto batched = runWaferStudy(cfg);
+    cfg.batchLanes = 7;   // ragged batches
+    cfg.threads = 4;
+    auto ragged = runWaferStudy(cfg);
+
+    ASSERT_EQ(scalar.dies.size(), batched.dies.size());
+    ASSERT_EQ(scalar.dies.size(), ragged.dies.size());
+    for (size_t i = 0; i < scalar.dies.size(); ++i) {
+        const DieResult &a = scalar.dies[i];
+        for (const DieResult *b :
+             {&batched.dies[i], &ragged.dies[i]}) {
+            EXPECT_EQ(a.site.index, b->site.index) << i;
+            EXPECT_EQ(a.sample.defects, b->sample.defects) << i;
+            EXPECT_EQ(a.at45V.errors, b->at45V.errors) << i;
+            EXPECT_EQ(a.at3V.errors, b->at3V.errors) << i;
+            EXPECT_EQ(a.at45V.currentA, b->at45V.currentA) << i;
+            EXPECT_EQ(a.at3V.currentA, b->at3V.currentA) << i;
+        }
+    }
+}
+
 TEST(WaferStudy, ProbesDoNotAccumulateToggles)
 {
     // Each probe of a die must start from clean toggle counters —

@@ -1,0 +1,110 @@
+#!/usr/bin/env python3
+"""Compare two google-benchmark JSON snapshots for regressions.
+
+Usage:
+    bench_compare.py BASELINE.json NEW.json [--threshold R]
+                     [--metric real_time|cpu_time] [--allow-debug]
+
+Every benchmark present in BASELINE is looked up in NEW by name and
+the chosen per-iteration metric is compared; a benchmark whose
+NEW/BASELINE ratio exceeds the threshold is a regression and makes
+the script exit non-zero, as does a baseline benchmark missing from
+NEW (a silently deleted benchmark is how throughput numbers rot).
+Benchmarks only present in NEW are reported but never fail.
+
+A snapshot recorded from a debug build (context flexi_build_type ==
+"debug", the field bench_sim_throughput emits itself) fails the
+comparison outright unless --allow-debug is given: debug numbers are
+meaningless and must never be compared or committed.
+
+The threshold is deliberately configurable: on the machine that
+produced the baseline a tight bound (say 1.3) is right, while CI
+comparing against a snapshot recorded elsewhere needs a loose bound
+that still catches order-of-magnitude regressions.
+"""
+
+import argparse
+import json
+import sys
+
+
+def load(path):
+    with open(path) as f:
+        return json.load(f)
+
+
+def build_type(doc):
+    return doc.get("context", {}).get("flexi_build_type", "unknown")
+
+
+def by_name(doc):
+    out = {}
+    for b in doc.get("benchmarks", []):
+        # Skip aggregate rows (mean/median/stddev of repetitions);
+        # compare plain iterations only.
+        if b.get("run_type") == "aggregate":
+            continue
+        out[b["name"]] = b
+    return out
+
+
+def main():
+    ap = argparse.ArgumentParser(
+        description="diff two google-benchmark JSON snapshots")
+    ap.add_argument("baseline")
+    ap.add_argument("new")
+    ap.add_argument("--threshold", type=float, default=1.3,
+                    help="fail when new/baseline exceeds this ratio "
+                         "(default 1.3)")
+    ap.add_argument("--metric", default="real_time",
+                    choices=["real_time", "cpu_time"])
+    ap.add_argument("--allow-debug", action="store_true",
+                    help="permit snapshots recorded from debug builds")
+    args = ap.parse_args()
+
+    base_doc = load(args.baseline)
+    new_doc = load(args.new)
+
+    status = 0
+    for label, doc in (("baseline", base_doc), ("new", new_doc)):
+        bt = build_type(doc)
+        if bt == "debug" and not args.allow_debug:
+            print(f"FAIL: {label} snapshot was recorded from a debug "
+                  f"build", file=sys.stderr)
+            status = 1
+    if status:
+        return status
+
+    base = by_name(base_doc)
+    new = by_name(new_doc)
+
+    width = max((len(n) for n in base), default=0)
+    for name, b in sorted(base.items()):
+        if name not in new:
+            print(f"FAIL: {name}: missing from new snapshot",
+                  file=sys.stderr)
+            status = 1
+            continue
+        old_t = b[args.metric]
+        new_t = new[name][args.metric]
+        if old_t <= 0:
+            continue
+        ratio = new_t / old_t
+        unit = b.get("time_unit", "ns")
+        line = (f"{name:<{width}}  {old_t:12.3f} -> {new_t:12.3f} "
+                f"{unit}  ({ratio:5.2f}x)")
+        if ratio > args.threshold:
+            print(f"FAIL: {line}  exceeds {args.threshold:.2f}x",
+                  file=sys.stderr)
+            status = 1
+        else:
+            print(f"  ok: {line}")
+
+    for name in sorted(set(new) - set(base)):
+        print(f" new: {name} (no baseline)")
+
+    return status
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -5,6 +5,7 @@
  *   flexifault campaign [--isa fc4|fc8|ext|ls] [--seed N]
  *                       [--injections N] [--work N] [--threads N]
  *                       [--no-detectors] [--no-recovery] [--lockstep]
+ *                       [--batch-lanes N]
  *   flexifault salvage  [--isa fc4|fc8] [--seed N] [--cycles N]
  *                       [--vdd V] [--min-kernels N] [--threads N]
  *   flexifault atpg     [--isa fc4|fc8] [--seed N] [--max-faults N]
@@ -92,6 +93,10 @@ cmdCampaign(Args &args)
         static_cast<unsigned>(args.number("--injections", 96));
     cfg.workUnits = args.number("--work", 6);
     cfg.threads = static_cast<unsigned>(args.number("--threads", 0));
+    // 64 = full word-parallel prescreen, 1 = scalar lane-by-lane
+    // (debuggable); outcomes are bit-identical for any value.
+    cfg.batchLanes =
+        static_cast<unsigned>(args.number("--batch-lanes", 64));
     if (args.flag("--no-detectors"))
         cfg.detectors = DetectorConfig{false, false, false,
                                        cfg.detectors.watchdogCycles};
