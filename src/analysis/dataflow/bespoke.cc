@@ -1,0 +1,154 @@
+#include "bespoke.hh"
+
+#include <algorithm>
+#include <set>
+
+#include "common/logging.hh"
+
+namespace flexi
+{
+
+namespace
+{
+
+/** Page byte at @p idx; past the image the idle bus reads zeros. */
+uint8_t
+byteAt(const std::vector<uint8_t> &image, size_t idx)
+{
+    return idx < image.size() ? image[idx] : 0;
+}
+
+/**
+ * Every word the instruction bus can carry while executing the
+ * reachable point @p pt, matching how the runners drive the pads.
+ */
+void
+busWordsAt(IsaKind isa, const std::vector<uint8_t> &image,
+           const ProgramFactPoint &pt, std::set<unsigned> &words)
+{
+    switch (isa) {
+      case IsaKind::FlexiCore4:
+        words.insert(byteAt(image, pt.addr));
+        break;
+      case IsaKind::FlexiCore8:
+        // A two-byte ldb fetches its immediate over the same 8-bit
+        // bus on the next cycle.
+        words.insert(byteAt(image, pt.addr));
+        if (pt.bytes == 2)
+            words.insert(byteAt(image, pt.addr + 1));
+        break;
+      case IsaKind::ExtAcc4:
+        // Wide bus: both bytes arrive at once; for a one-byte
+        // instruction the high byte is the next program byte.
+        words.insert(byteAt(image, pt.addr) |
+                     (byteAt(image, pt.addr + 1) << 8));
+        break;
+      case IsaKind::LoadStore4:
+        words.insert(
+            byteAt(image, static_cast<size_t>(pt.addr) * 2) |
+            (byteAt(image, static_cast<size_t>(pt.addr) * 2 + 1)
+             << 8));
+        break;
+    }
+}
+
+} // namespace
+
+size_t
+BespokeFacts::numTiedBits() const
+{
+    size_t n = 0;
+    for (Ternary t : instrBits)
+        if (t != Ternary::X)
+            ++n;
+    return n;
+}
+
+BespokeFacts
+bespokeInstrFacts(IsaKind isa, const std::vector<Program> &progs)
+{
+    BespokeFacts facts;
+    facts.isa = isa;
+    facts.busWidth =
+        (isa == IsaKind::ExtAcc4 || isa == IsaKind::LoadStore4)
+            ? 16 : 8;
+
+    std::set<unsigned> words;
+    std::set<std::string> ops;
+    for (const Program &prog : progs) {
+        ProgramFacts pf = programFacts(prog);
+        if (!pf.report.clean())
+            continue;
+        for (const ProgramFactPoint &pt : pf.points) {
+            if (pt.page >= prog.numPages())
+                continue;
+            busWordsAt(isa, prog.page(pt.page), pt, words);
+            ops.insert(opName(pt.inst.op));
+        }
+    }
+    facts.words = words.size();
+    facts.reachableOps.assign(ops.begin(), ops.end());
+
+    // Per-bit fold: a bit is tied iff every reachable word agrees.
+    facts.instrBits.assign(facts.busWidth, Ternary::X);
+    bool first = true;
+    for (unsigned w : words) {
+        for (unsigned k = 0; k < facts.busWidth; ++k) {
+            Ternary bit = ternaryOf((w >> k) & 1u);
+            facts.instrBits[k] = first
+                ? bit : ternaryJoin(facts.instrBits[k], bit);
+        }
+        first = false;
+    }
+    if (words.empty())
+        facts.instrBits.assign(facts.busWidth, Ternary::X);
+    return facts;
+}
+
+BespokeResult
+bespokePrune(const Netlist &core, IsaKind isa,
+             const std::vector<Program> &progs, bool certify)
+{
+    BespokeResult res;
+    for (const Program &prog : progs) {
+        if (prog.isa() != isa) {
+            res.detail = "program assembled for a different ISA";
+            return res;
+        }
+        if (!lintProgram(prog).clean()) {
+            res.detail =
+                "refusing to specialize: a program has lint errors "
+                "(its reachable set is not trustworthy)";
+            return res;
+        }
+    }
+
+    res.facts = bespokeInstrFacts(isa, progs);
+    if (res.facts.words == 0) {
+        res.detail = "no reachable instruction words";
+        return res;
+    }
+    if (res.facts.numTiedBits() == 0) {
+        res.detail = "no instruction-bus bit is constant across the "
+                     "reachable encodings; nothing to specialize";
+        return res;
+    }
+
+    for (unsigned k = 0; k < res.facts.busWidth; ++k)
+        if (res.facts.instrBits[k] != Ternary::X)
+            res.ties.push_back(
+                {strfmt("instr%u", k),
+                 res.facts.instrBits[k] == Ternary::One});
+
+    DataflowOptions opts;
+    opts.ties = res.ties;
+    res.prune = prune(core, opts, certify);
+    if (!res.prune.ok) {
+        res.detail = res.prune.detail;
+        return res;
+    }
+    res.ok = true;
+    return res;
+}
+
+} // namespace flexi

@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Bespoke-core derivation: prune a core netlist down to what one
+ * kernel (or kernel suite) can actually put on its instruction bus.
+ *
+ * The program linter's abstract interpreter proves which execution
+ * points a program can reach from power-on. From those points this
+ * pass enumerates every word the instruction bus can carry — per
+ * ISA: FlexiCore4 one byte per point; FlexiCore8 both bytes of a
+ * two-byte ldb (the immediate crosses the same bus); ExtAcc4 the
+ * 16-bit wide-bus word (whose high byte is the *next* program byte,
+ * exactly as the lockstep runner fetches it); LoadStore4 the 16-bit
+ * instruction word — and folds them into a per-bit constancy mask.
+ * Bits constant across every reachable word become PadTie
+ * assumptions, and prune() removes the decode and datapath logic
+ * those pins make dead or constant, SAT-certified under the same
+ * assumptions.
+ *
+ * This is the RISP-style specialization the related work applies to
+ * bespoke health-monitoring co-processors: the part only ever runs
+ * this kernel, so logic only other instruction encodings can
+ * exercise is yield-free weight. Savings are reported in NAND2
+ * equivalents; src/dse/bespoke_report.* prices them against the DSE
+ * area model.
+ */
+
+#ifndef FLEXI_ANALYSIS_DATAFLOW_BESPOKE_HH
+#define FLEXI_ANALYSIS_DATAFLOW_BESPOKE_HH
+
+#include <string>
+#include <vector>
+
+#include "analysis/dataflow/dataflow.hh"
+#include "analysis/dataflow/prune.hh"
+#include "analysis/program_lint.hh"
+#include "assembler/program.hh"
+
+namespace flexi
+{
+
+/** What the kernel suite can drive onto the instruction bus. */
+struct BespokeFacts
+{
+    IsaKind isa = IsaKind::FlexiCore4;
+    /** Instruction-bus width (8, or 16 for the wide-bus cores). */
+    unsigned busWidth = 8;
+    /** Per-bus-bit constancy over every reachable word. */
+    std::vector<Ternary> instrBits;
+    /** Distinct reachable bus words. */
+    size_t words = 0;
+    /** Sorted unique mnemonics on some reachable path. */
+    std::vector<std::string> reachableOps;
+
+    size_t numTiedBits() const;
+};
+
+/**
+ * Fold the reachable instruction encodings of @p progs (all
+ * assembled for @p isa) into bus-bit facts. Programs with lint
+ * *errors* contribute nothing (their control flow is broken, so
+ * their reachable set is not trustworthy) and are reported in the
+ * result of bespokePrune() instead.
+ */
+BespokeFacts bespokeInstrFacts(IsaKind isa,
+                               const std::vector<Program> &progs);
+
+struct BespokeResult
+{
+    bool ok = false;
+    std::string detail;
+    BespokeFacts facts;
+    /** The tie environment handed to prune(). */
+    std::vector<PadTie> ties;
+    /** The certified prune under those ties. */
+    PruneResult prune;
+};
+
+/**
+ * Specialize @p core (an elaborated netlist whose instruction bus
+ * pads are named instr0..instrN-1) to the given kernel programs.
+ * Refuses when any program has lint errors or when no bus bit is
+ * constant (nothing to specialize).
+ */
+BespokeResult bespokePrune(const Netlist &core, IsaKind isa,
+                           const std::vector<Program> &progs,
+                           bool certify = true);
+
+} // namespace flexi
+
+#endif // FLEXI_ANALYSIS_DATAFLOW_BESPOKE_HH

@@ -1,0 +1,158 @@
+/**
+ * @file
+ * Fixed-point ternary dataflow analysis over a gate-level netlist.
+ *
+ * Three coupled analyses, all running on the 0/1/X lattice with the
+ * cell truth tables as transfer functions:
+ *
+ *  - Constant propagation: an ascending Kleene iteration from the
+ *    power-on state (DFFs at their init values, primary inputs at X
+ *    unless tied by DataflowOptions), joining each DFF's next-state
+ *    into its current abstraction until nothing changes. A net whose
+ *    fixpoint value is 0 or 1 provably holds that value in *every*
+ *    reachable state under the tie environment — the license prune()
+ *    needs to fold it to a rail.
+ *
+ *  - X / reset coverage: the dual iteration from an *undefined*
+ *    power-on state (all DFFs at X). A DFF that converges to 0/1
+ *    re-initializes itself from the logic alone; a DFF still X at
+ *    the fixpoint relies on the modeled power-on value (the
+ *    fabricated parts reset via an external sequence), which is
+ *    exactly the smell the uninit-* program rules flag at the
+ *    software level.
+ *
+ *  - Cone-of-influence reachability: backward liveness from the
+ *    primary outputs, cut at proven-constant nets. Cells and DFFs
+ *    outside every observable cone are dead: removing them cannot
+ *    change any output in any reachable state.
+ *
+ * Results feed dataflowLint() (rules dead-gate, x-after-reset,
+ * constant-output — docs/LINT.md), the prune() optimization pass,
+ * and the bespoke-core derivation, which expresses a kernel's
+ * reachable instruction encodings as input ties.
+ */
+
+#ifndef FLEXI_ANALYSIS_DATAFLOW_DATAFLOW_HH
+#define FLEXI_ANALYSIS_DATAFLOW_DATAFLOW_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "analysis/diagnostics.hh"
+#include "netlist/netlist.hh"
+
+namespace flexi
+{
+
+/** One point of the constant lattice: defined 0/1 or unknown. */
+enum class Ternary : uint8_t
+{
+    Zero,
+    One,
+    X,
+};
+
+/** "0", "1", or "X". */
+const char *ternaryName(Ternary t);
+
+inline Ternary
+ternaryOf(bool b)
+{
+    return b ? Ternary::One : Ternary::Zero;
+}
+
+/** Value join: 0 v 0 = 0, 1 v 1 = 1, anything else X. */
+inline Ternary
+ternaryJoin(Ternary a, Ternary b)
+{
+    return a == b ? a : Ternary::X;
+}
+
+/**
+ * Ternary evaluation of one combinational cell: the result is
+ * defined iff every resolution of the X inputs agrees (exhaustive
+ * over the cell's 8-entry truth table, so X-dominance like
+ * NAND(0, X) = 1 falls out for free).
+ */
+Ternary ternaryEval(CellType type, Ternary a, Ternary b, Ternary c);
+
+/** A primary input pinned to a constant for the analysis. */
+struct PadTie
+{
+    std::string input;   ///< primary-input name
+    bool value = false;
+};
+
+struct DataflowOptions
+{
+    /**
+     * Environment assumption: these pads hold these constants in
+     * every analyzed state. The bespoke-core flow derives ties from
+     * a kernel's reachable instruction encodings; an empty list
+     * analyzes the open netlist.
+     */
+    std::vector<PadTie> ties;
+};
+
+/** Everything the fixed-point engine learned about one netlist. */
+struct DataflowResult
+{
+    /** Analysis ran (false: combinational cycle; see detail). */
+    bool ok = false;
+    std::string detail;
+
+    /**
+     * Per-net constant abstraction at the fixpoint: Zero/One means
+     * the net provably holds that value in every reachable state
+     * under the ties.
+     */
+    std::vector<Ternary> constVal;
+    /**
+     * Per-DFF (commit order) fixpoint of the undefined-start
+     * iteration: X means the DFF's value is never provably restored
+     * by the logic and relies on the power-on initialization.
+     */
+    std::vector<Ternary> resetVal;
+
+    /** Per-cell / per-net membership in some observable cone. */
+    std::vector<uint8_t> liveCell;
+    std::vector<uint8_t> liveNet;
+
+    /** Iterations to convergence (diagnostics / tests). */
+    size_t constIterations = 0;
+    size_t resetIterations = 0;
+
+    bool netConst(NetId net) const
+    {
+        return net < constVal.size() && constVal[net] != Ternary::X;
+    }
+    bool netConstValue(NetId net) const
+    {
+        return constVal[net] == Ternary::One;
+    }
+
+    size_t numConstNets() const;
+    size_t numDeadCells() const;
+    size_t numUninitDffs() const;
+};
+
+/**
+ * Run the fixed-point engine over @p nl (elaborated or not; the
+ * analysis builds its own topological order). Undriven nets read X.
+ */
+DataflowResult analyzeDataflow(const Netlist &nl,
+                               const DataflowOptions &opts = {});
+
+/**
+ * Render an analysis as diagnostics: dead-gate and constant-output
+ * (Warning, aggregated per module) and x-after-reset (Warning, one
+ * per module listing the affected state bits). An analysis that
+ * could not run emits a dataflow-skipped Note.
+ */
+LintReport dataflowLint(const Netlist &nl,
+                        const DataflowOptions &opts = {});
+
+} // namespace flexi
+
+#endif // FLEXI_ANALYSIS_DATAFLOW_DATAFLOW_HH

@@ -1,0 +1,128 @@
+/**
+ * @file
+ * SAT-certified netlist pruning on top of the dataflow engine.
+ *
+ * prune() rebuilds a netlist with every provably-dead cell removed
+ * and every proven-constant net folded onto a rail, keeping the pad
+ * interface (all primary inputs and outputs) intact. The licenses
+ * come from analyzeDataflow(): a cell outside every observable cone
+ * cannot affect an output; a net constant in every reachable state
+ * (under the tie environment) can be replaced by its rail; a DFF
+ * whose Q is constant can be deleted outright.
+ *
+ * None of that is taken on faith. certifyPrune() discharges every
+ * transformation with the PR-3 SAT machinery:
+ *
+ *  1. Inductive invariant — with the tie environment asserted and
+ *     the constant DFFs pinned to their proven values, each constant
+ *     DFF's *next* state is proven equal to its constant and each
+ *     folded combinational net is proven equal to its rail (UNSAT of
+ *     the negation, hardened incrementally). Together with the
+ *     matching power-on values this makes "constant in every
+ *     reachable state" an induction, not a heuristic.
+ *
+ *  2. Observable equivalence — a miter between the original and the
+ *     pruned netlist (primary inputs shared by name, surviving
+ *     state bits shared by the prune's DFF map) proves every primary
+ *     output and every surviving DFF's captured next-state equal.
+ *     The interior is swept in topological order with incremental
+ *     hardening, the same engine checkPlanEquivalence() uses.
+ *
+ * A failed proof returns a *replayable* counterexample: a complete
+ * named input-and-state assignment. replayPruneCex() drives both
+ * netlists (scalar simulation) with it and reports the divergence,
+ * closing the loop between the solver and the simulator.
+ */
+
+#ifndef FLEXI_ANALYSIS_DATAFLOW_PRUNE_HH
+#define FLEXI_ANALYSIS_DATAFLOW_PRUNE_HH
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "analysis/dataflow/dataflow.hh"
+#include "analysis/equiv.hh"
+#include "netlist/netlist.hh"
+
+namespace flexi
+{
+
+/** dffMap / netMap entry for state or nets the prune deleted. */
+constexpr size_t kPrunedAway = ~size_t{0};
+
+/** What the prune removed, for reports and the area model. */
+struct PruneStats
+{
+    size_t cellsBefore = 0;
+    size_t cellsAfter = 0;
+    size_t dffsBefore = 0;
+    size_t dffsAfter = 0;
+    size_t deadCells = 0;    ///< removed: outside every cone
+    size_t constCells = 0;   ///< removed: output folded to a rail
+    size_t constDffs = 0;    ///< state bits folded to constants
+    double nand2AreaBefore = 0.0;
+    double nand2AreaAfter = 0.0;
+
+    double nand2AreaSaved() const
+    {
+        return nand2AreaBefore - nand2AreaAfter;
+    }
+};
+
+struct PruneResult
+{
+    /** A pruned netlist was produced (see detail otherwise). */
+    bool ok = false;
+    std::string detail;
+    /** The pruned, elaborated netlist (same pad interface). */
+    std::unique_ptr<Netlist> netlist;
+    PruneStats stats;
+    /** The analysis the prune acted on. */
+    DataflowResult dataflow;
+    /** Original DFF index (commit order) -> pruned index. */
+    std::vector<size_t> dffMap;
+    /** Original net -> pruned net (folded nets map to rails). */
+    std::vector<NetId> netMap;
+
+    /** Certification ran and proved every transformation. */
+    bool certified = false;
+    EquivResult certification;
+};
+
+/**
+ * Prune @p nl (must be elaborated) under the tie environment of
+ * @p opts. With @p certify (the default), the result is SAT-proven
+ * equivalent before being returned; an uncertified result carries
+ * the counterexample in `certification`.
+ */
+PruneResult prune(const Netlist &nl, const DataflowOptions &opts = {},
+                  bool certify = true);
+
+/**
+ * Discharge a prune: inductive constant invariant plus observable
+ * miter (see file comment). Exposed separately so tests can certify
+ * tampered netlists and exercise the counterexample path. @p netMap
+ * may be empty (skips the interior sweep, pure observable proof).
+ */
+EquivResult certifyPrune(const Netlist &orig, const Netlist &pruned,
+                         const DataflowResult &df,
+                         const std::vector<size_t> &dffMap,
+                         const std::vector<NetId> &netMap,
+                         const DataflowOptions &opts = {});
+
+/**
+ * Replay a certification counterexample on both simulators: restore
+ * the named state bits, drive the named inputs, evaluate, clock.
+ * Returns true iff the two netlists observably diverge (a primary
+ * output before the edge or a shared state bit after it); the
+ * divergence is described in @p what when given.
+ */
+bool replayPruneCex(const Netlist &orig, const Netlist &pruned,
+                    const std::vector<size_t> &dffMap,
+                    const EquivCounterexample &cex,
+                    std::string *what = nullptr);
+
+} // namespace flexi
+
+#endif // FLEXI_ANALYSIS_DATAFLOW_PRUNE_HH

@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Canonical structural hashing of netlists.
+ *
+ * canonicalNetlistHash() digests a netlist into 64 bits that depend
+ * only on its *structure* — the shape of the gate graph, the cell
+ * types, the DFF power-on values, and the primary-pad names — and
+ * not on any construction artifact: net ids, cell insertion order,
+ * module tags, and intermediate net labels are all invisible to the
+ * hash. Two netlists built in different orders (or a clone and its
+ * template) therefore hash identically, while structurally distinct
+ * cores separate.
+ *
+ * The scheme is Weisfeiler-Leman-style iterative refinement: every
+ * net starts from a local seed (pad name, rail constant, DFF init),
+ * then a fixed number of rounds propagates hashes through the gate
+ * graph — combinational nets rehash from their fanin hashes in
+ * topological order (inputs of fully-symmetric cells sorted by hash
+ * so commutative input order cannot leak in), DFF outputs rehash
+ * from their D-cone hash at each round boundary. The final digest
+ * folds the *sorted multisets* of per-output, per-DFF, and per-cell
+ * hashes, so no iteration order survives into the result.
+ *
+ * This is the cache key runSweep()'s incremental mode uses: a design
+ * point re-evaluated against an unchanged core structure is a cache
+ * hit no matter how the netlist was rebuilt.
+ */
+
+#ifndef FLEXI_ANALYSIS_DATAFLOW_STRUCT_HASH_HH
+#define FLEXI_ANALYSIS_DATAFLOW_STRUCT_HASH_HH
+
+#include <cstdint>
+#include <string>
+
+#include "netlist/netlist.hh"
+
+namespace flexi
+{
+
+/** 64-bit canonical structural hash (deterministic across runs). */
+uint64_t canonicalNetlistHash(const Netlist &nl);
+
+/** The hash rendered as a fixed-width lowercase hex string. */
+std::string canonicalNetlistHashHex(const Netlist &nl);
+
+} // namespace flexi
+
+#endif // FLEXI_ANALYSIS_DATAFLOW_STRUCT_HASH_HH

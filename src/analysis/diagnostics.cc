@@ -1,5 +1,8 @@
 #include "diagnostics.hh"
 
+#include <algorithm>
+#include <tuple>
+
 #include "common/logging.hh"
 
 namespace flexi
@@ -43,6 +46,25 @@ LintReport::count(Severity severity) const
         if (d.severity == severity)
             ++n;
     return n;
+}
+
+void
+LintReport::normalize()
+{
+    auto key = [](const Diagnostic &d) {
+        return std::tie(d.rule, d.module, d.page, d.addr, d.nets,
+                        d.message);
+    };
+    std::stable_sort(diags_.begin(), diags_.end(),
+                     [&](const Diagnostic &a, const Diagnostic &b) {
+                         return key(a) < key(b);
+                     });
+    auto same = [&](const Diagnostic &a, const Diagnostic &b) {
+        return a.severity == b.severity && key(a) == key(b) &&
+               a.netNames == b.netNames;
+    };
+    diags_.erase(std::unique(diags_.begin(), diags_.end(), same),
+                 diags_.end());
 }
 
 std::vector<Diagnostic>

@@ -83,6 +83,15 @@ class LintReport
     /** No errors (warnings and notes allowed). */
     bool clean() const { return errors() == 0; }
 
+    /**
+     * Canonicalize for byte-stable rendering: stable sort by (rule,
+     * module, page, addr, nets, message), then drop exact duplicate
+     * findings. flexilint normalizes every report before rendering,
+     * so --json output is independent of pass ordering, append()
+     * order, and thread count.
+     */
+    void normalize();
+
     /** Findings for one rule id (test helper). */
     std::vector<Diagnostic> byRule(const std::string &rule) const;
     bool fires(const std::string &rule) const

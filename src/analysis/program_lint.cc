@@ -96,6 +96,20 @@ joinState(const AbsState &a, const AbsState &b)
 class ProgramLinter
 {
   public:
+    /** Reachable points with their decodes (run() must have run). */
+    std::vector<ProgramFactPoint> reachablePoints() const
+    {
+        std::vector<ProgramFactPoint> pts;
+        for (const auto &[k, st] : in_) {
+            auto it = decoded_.find(k);
+            if (it == decoded_.end())
+                continue;
+            pts.push_back({k >> kPcBits, k & (kPageSize - 1),
+                           it->second.inst, it->second.bytes});
+        }
+        return pts;
+    }
+
     explicit ProgramLinter(const Program &prog)
         : prog_(prog), isa_(prog.isa()),
           dataWidth_(isaDataWidth(isa_)),
@@ -693,6 +707,17 @@ LintReport
 lintProgram(const Program &prog)
 {
     return ProgramLinter(prog).run();
+}
+
+ProgramFacts
+programFacts(const Program &prog)
+{
+    ProgramLinter linter(prog);
+    ProgramFacts facts;
+    facts.isa = prog.isa();
+    facts.report = linter.run();
+    facts.points = linter.reachablePoints();
+    return facts;
 }
 
 } // namespace flexi

@@ -46,6 +46,36 @@ namespace flexi
 /** Run all program lint rules over @p prog. */
 LintReport lintProgram(const Program &prog);
 
+/**
+ * One execution point the abstract interpreter proved reachable
+ * from the power-on entry, with its decoded instruction. `addr` is
+ * in PC units (bytes; words for LoadStore4), `bytes` the encoded
+ * length.
+ */
+struct ProgramFactPoint
+{
+    unsigned page = 0;
+    unsigned addr = 0;
+    Instruction inst;
+    unsigned bytes = 0;
+};
+
+/**
+ * Reachability facts extracted from the lint pass's CFG — the input
+ * the bespoke-core derivation consumes. `report` carries the full
+ * lint findings so callers can refuse to specialize against a
+ * program whose control flow the linter flagged as broken.
+ */
+struct ProgramFacts
+{
+    IsaKind isa = IsaKind::FlexiCore4;
+    std::vector<ProgramFactPoint> points;
+    LintReport report;
+};
+
+/** Run the lint CFG construction and return its reachability facts. */
+ProgramFacts programFacts(const Program &prog);
+
 } // namespace flexi
 
 #endif // FLEXI_ANALYSIS_PROGRAM_LINT_HH

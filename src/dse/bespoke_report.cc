@@ -1,0 +1,37 @@
+#include "bespoke_report.hh"
+
+#include "common/logging.hh"
+#include "dse/area_model.hh"
+
+namespace flexi
+{
+
+std::string
+BespokeAreaReport::text() const
+{
+    return strfmt(
+        "bespoke prune: %.1f -> %.1f NAND2 (-%.1f, %.1f%% of the "
+        "core, %.1f%% of the base FlexiCore4 point); %zu cell(s) "
+        "and %zu state bit(s) removed",
+        nand2Before, nand2After, nand2Saved, fractionSaved * 100.0,
+        fractionOfBaseline * 100.0, cellsRemoved, dffsRemoved);
+}
+
+BespokeAreaReport
+bespokeAreaReport(const PruneStats &stats)
+{
+    BespokeAreaReport rep;
+    rep.nand2Before = stats.nand2AreaBefore;
+    rep.nand2After = stats.nand2AreaAfter;
+    rep.nand2Saved = stats.nand2AreaSaved();
+    rep.fractionSaved = stats.nand2AreaBefore > 0.0
+        ? rep.nand2Saved / stats.nand2AreaBefore : 0.0;
+    rep.baselineCoreNand2 = baseCoreArea();
+    rep.fractionOfBaseline = rep.baselineCoreNand2 > 0.0
+        ? rep.nand2Saved / rep.baselineCoreNand2 : 0.0;
+    rep.cellsRemoved = stats.cellsBefore - stats.cellsAfter;
+    rep.dffsRemoved = stats.dffsBefore - stats.dffsAfter;
+    return rep;
+}
+
+} // namespace flexi

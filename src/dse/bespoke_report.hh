@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Pricing of bespoke-prune savings against the DSE area model.
+ *
+ * The prune pass reports what it removed in NAND2 equivalents (the
+ * cell library's area unit). This helper relates those savings to
+ * the analytical DSE area model so a specialization result reads in
+ * the same currency as the Section 6 sweep: absolute NAND2s saved,
+ * the fraction of the core, and the fraction of the base FlexiCore4
+ * design point the sweep normalizes everything to.
+ */
+
+#ifndef FLEXI_DSE_BESPOKE_REPORT_HH
+#define FLEXI_DSE_BESPOKE_REPORT_HH
+
+#include <string>
+
+#include "analysis/dataflow/prune.hh"
+
+namespace flexi
+{
+
+struct BespokeAreaReport
+{
+    double nand2Before = 0.0;
+    double nand2After = 0.0;
+    double nand2Saved = 0.0;
+    /** Fraction of the pruned core's own area removed. */
+    double fractionSaved = 0.0;
+    /** DSE base FlexiCore4 point area (NAND2), for normalization. */
+    double baselineCoreNand2 = 0.0;
+    /** Savings as a fraction of that baseline point. */
+    double fractionOfBaseline = 0.0;
+    size_t cellsRemoved = 0;
+    size_t dffsRemoved = 0;
+
+    /** One-line human-readable rendering. */
+    std::string text() const;
+};
+
+/** Price a prune's savings in the DSE sweep's units. */
+BespokeAreaReport bespokeAreaReport(const PruneStats &stats);
+
+} // namespace flexi
+
+#endif // FLEXI_DSE_BESPOKE_REPORT_HH

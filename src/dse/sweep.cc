@@ -1,9 +1,11 @@
 #include "sweep.hh"
 
+#include "analysis/dataflow/struct_hash.hh"
 #include "common/thread_pool.hh"
 #include "dse/area_model.hh"
 #include "dse/code_size.hh"
 #include "dse/perf_model.hh"
+#include "netlist/flexicore_netlist.hh"
 
 namespace flexi
 {
@@ -49,23 +51,56 @@ candidateFeatureSets()
     return sets;
 }
 
+/** splitmix64 step for composing cache-key fields. */
+uint64_t
+mixKey(uint64_t h, uint64_t v)
+{
+    uint64_t x = h ^ (v + 0x9e3779b97f4a7c15ull);
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+    return x ^ (x >> 31);
+}
+
+/**
+ * Canonical structural hash of the base core netlist behind one
+ * operand model — the "structure version" part of the cache key.
+ * Computed once per process (the generators are deterministic).
+ */
+uint64_t
+coreStructureHash(OperandModel model)
+{
+    static const uint64_t ext =
+        canonicalNetlistHash(*buildExtAcc4Netlist());
+    static const uint64_t ls =
+        canonicalNetlistHash(*buildLoadStore4Netlist());
+    return model == OperandModel::LoadStore ? ls : ext;
+}
+
 } // namespace
+
+uint64_t
+sweepPointKey(const DesignPoint &point, const SweepConfig &cfg)
+{
+    const IsaFeatures &f = point.features;
+    uint64_t feature_bits =
+        (f.coalescing ? 1u : 0u) | (f.barrelShifter ? 2u : 0u) |
+        (f.branchFlags ? 4u : 0u) | (f.multiplier ? 8u : 0u) |
+        (f.exchange ? 16u : 0u) | (f.subroutines ? 32u : 0u) |
+        (f.doubleMemory ? 64u : 0u);
+    uint64_t h = coreStructureHash(point.operands);
+    h = mixKey(h, static_cast<uint64_t>(point.operands));
+    h = mixKey(h, static_cast<uint64_t>(point.uarch));
+    h = mixKey(h, static_cast<uint64_t>(point.bus));
+    h = mixKey(h, feature_bits);
+    h = mixKey(h, cfg.workUnits);
+    h = mixKey(h, cfg.seed);
+    return h;
+}
 
 SweepResult
 runSweep(const SweepConfig &cfg)
 {
     SweepResult result;
-    // Suite-average baseline energy (the normalization denominator);
-    // computed once up front, in parallel over kernels.
-    std::vector<double> base_by_kernel(kNumKernels, 0.0);
-    auto kernels = allKernels();
-    parallelFor(kernels.size(), cfg.threads, [&](size_t k) {
-        base_by_kernel[k] = evalFlexiCore4Baseline(
-            kernels[k], cfg.workUnits, cfg.seed).energyJ;
-    });
-    double base_energy = 0.0;
-    for (double e : base_by_kernel)
-        base_energy += e;
     double base_area = baseCoreArea();
 
     // Enumerate feasible points in a fixed order (the result order
@@ -100,8 +135,44 @@ runSweep(const SweepConfig &cfg)
         }
     }
 
-    parallelFor(all.size(), cfg.threads, [&](size_t i) {
-        SweepCandidate &c = all[i];
+    // Cache lookup: points whose (structure, point, inputs) key is
+    // already known skip evaluation entirely — including the
+    // baseline-energy simulation when every point hits.
+    std::vector<size_t> to_eval;
+    to_eval.reserve(all.size());
+    for (size_t i = 0; i < all.size(); ++i) {
+        if (cfg.cache) {
+            uint64_t key = sweepPointKey(all[i].point, cfg);
+            auto it = cfg.cache->entries.find(key);
+            if (it != cfg.cache->entries.end()) {
+                all[i].area = it->second.area;
+                all[i].codeRel = it->second.codeRel;
+                all[i].energyRel = it->second.energyRel;
+                ++cfg.cache->hits;
+                continue;
+            }
+            ++cfg.cache->misses;
+        }
+        to_eval.push_back(i);
+    }
+
+    // Suite-average baseline energy (the normalization denominator);
+    // computed in parallel over kernels, and only when some point
+    // actually needs evaluating.
+    double base_energy = 0.0;
+    if (!to_eval.empty()) {
+        std::vector<double> base_by_kernel(kNumKernels, 0.0);
+        auto kernels = allKernels();
+        parallelFor(kernels.size(), cfg.threads, [&](size_t k) {
+            base_by_kernel[k] = evalFlexiCore4Baseline(
+                kernels[k], cfg.workUnits, cfg.seed).energyJ;
+        });
+        for (double e : base_by_kernel)
+            base_energy += e;
+    }
+
+    parallelFor(to_eval.size(), cfg.threads, [&](size_t n) {
+        SweepCandidate &c = all[to_eval[n]];
         const IsaFeatures &f = c.point.features;
         c.area = areaOf(c.point).total() / base_area;
         // Code size: measured for the revised sets, idiom estimate
@@ -128,6 +199,11 @@ runSweep(const SweepConfig &cfg)
         }
         c.energyRel = e / base_energy;
     });
+
+    if (cfg.cache)
+        for (size_t i : to_eval)
+            cfg.cache->entries[sweepPointKey(all[i].point, cfg)] = {
+                all[i].area, all[i].codeRel, all[i].energyRel};
 
     for (auto &c : all) {
         c.pareto = true;

@@ -15,6 +15,7 @@
 #define FLEXI_DSE_SWEEP_HH
 
 #include <cstdint>
+#include <map>
 #include <vector>
 
 #include "dse/design_point.hh"
@@ -38,6 +39,34 @@ struct SweepCandidate
     bool dominates(const SweepCandidate &other) const;
 };
 
+/**
+ * Cross-sweep evaluation cache for incremental design-space
+ * exploration. Entries are keyed by sweepPointKey(): a mix of the
+ * *canonical structural hash* of the point's base core netlist (so
+ * any change to the generated structure invalidates every entry,
+ * no matter how the netlist was rebuilt), the design-point
+ * descriptor, and the evaluation inputs (workUnits, seed). A
+ * population-scale study re-running sweeps over unchanged
+ * structures pays for each point once.
+ *
+ * The cache is passive data: share one across runSweep() calls to
+ * reuse results, inspect hits/misses for reporting. Not
+ * thread-safe against *concurrent sweeps* (a single sweep only
+ * touches it from the coordinating thread).
+ */
+struct SweepCache
+{
+    struct Entry
+    {
+        double area = 0.0;
+        double codeRel = 0.0;
+        double energyRel = 0.0;
+    };
+    std::map<uint64_t, Entry> entries;
+    uint64_t hits = 0;
+    uint64_t misses = 0;
+};
+
 /** Configuration of one sweep. */
 struct SweepConfig
 {
@@ -57,7 +86,17 @@ struct SweepConfig
      * low-voltage feasibility cliff.
      */
     double vddOperating = kVddNominal;
+    /**
+     * Optional evaluation cache (see SweepCache). vddOperating is
+     * deliberately not part of the key: it only gates which points
+     * are simulated, never their metrics.
+     */
+    SweepCache *cache = nullptr;
 };
+
+/** Cache key of one design point under one configuration. */
+uint64_t sweepPointKey(const DesignPoint &point,
+                       const SweepConfig &cfg);
 
 /** A design point the static timing gate refused to simulate. */
 struct RejectedPoint

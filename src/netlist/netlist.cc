@@ -53,6 +53,19 @@ lutFor(CellType type)
     return lut;
 }
 
+} // namespace
+
+uint8_t
+cellTruthTable(CellType type)
+{
+    if (isSequential(type))
+        panic("cellTruthTable: sequential cell has no truth table");
+    return lutFor(type);
+}
+
+namespace
+{
+
 /** Word-parallel opcode matching the cell's boolean function. */
 WordOp
 wordOpFor(CellType type)

@@ -147,6 +147,15 @@ class BusHandle
     bool input_ = false;
 };
 
+/**
+ * Combinational semantics of a cell as the 8-bit truth table the
+ * evaluation plan executes: the output for inputs (i0, i1, i2) is
+ * bit (i0 | i1<<1 | i2<<2). Inputs beyond the cell's arity are
+ * don't-cares padded with 0 (matching the scratch-net convention).
+ * Fatal on sequential cell types.
+ */
+uint8_t cellTruthTable(CellType type);
+
 class Netlist
 {
   public:

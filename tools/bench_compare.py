@@ -28,9 +28,23 @@ import json
 import sys
 
 
-def load(path):
-    with open(path) as f:
-        return json.load(f)
+def load(path, label):
+    """Parse a snapshot, exiting with a clear message (not a
+    traceback) when the file is absent or not benchmark JSON."""
+    try:
+        with open(path) as f:
+            doc = json.load(f)
+    except OSError as err:
+        sys.exit(f"bench_compare: cannot read {label} snapshot "
+                 f"{path}: {err.strerror or err}")
+    except json.JSONDecodeError as err:
+        sys.exit(f"bench_compare: {label} snapshot {path} is not "
+                 f"valid JSON: {err}")
+    if not isinstance(doc, dict) or "benchmarks" not in doc:
+        sys.exit(f"bench_compare: {label} snapshot {path} has no "
+                 f"'benchmarks' array — is it really a "
+                 f"google-benchmark --benchmark_out file?")
+    return doc
 
 
 def build_type(doc):
@@ -62,8 +76,8 @@ def main():
                     help="permit snapshots recorded from debug builds")
     args = ap.parse_args()
 
-    base_doc = load(args.baseline)
-    new_doc = load(args.new)
+    base_doc = load(args.baseline, "baseline")
+    new_doc = load(args.new, "new")
 
     status = 0
     for label, doc in (("baseline", base_doc), ("new", new_doc)):
@@ -83,6 +97,11 @@ def main():
         if name not in new:
             print(f"FAIL: {name}: missing from new snapshot",
                   file=sys.stderr)
+            status = 1
+            continue
+        if args.metric not in b or args.metric not in new[name]:
+            print(f"FAIL: {name}: snapshot lacks the "
+                  f"'{args.metric}' metric", file=sys.stderr)
             status = 1
             continue
         old_t = b[args.metric]

@@ -17,6 +17,13 @@
  *                   gate-level reference, and netlist vs behavioral
  *                   ISA spec (SAT-based CEC)
  *   --timing        path-level static timing on each netlist subject
+ *   --dataflow      fixed-point ternary dataflow analysis on each
+ *                   netlist subject (dead-gate, x-after-reset,
+ *                   constant-output)
+ *   --prune         SAT-certified prune of each netlist subject;
+ *                   reports removed logic and the certification
+ *   --hash          canonical structural hash of each netlist
+ *                   subject (the DSE sweep's cache key)
  *   --vdd <volts>   supply for --timing slack (default nominal 4.5)
  *   --paths <k>     top-K critical paths for --timing (default 8)
  *   --suppress <rule[,rule...]>
@@ -34,6 +41,9 @@
 #include <string>
 #include <vector>
 
+#include "analysis/dataflow/dataflow.hh"
+#include "analysis/dataflow/prune.hh"
+#include "analysis/dataflow/struct_hash.hh"
 #include "analysis/equiv.hh"
 #include "analysis/netlist_lint.hh"
 #include "analysis/program_lint.hh"
@@ -92,6 +102,7 @@ usage()
 {
     std::fprintf(stderr,
         "usage: flexilint [--json] [--werror] [--equiv] [--timing]\n"
+        "                 [--dataflow] [--prune] [--hash]\n"
         "                 [--vdd <volts>] [--paths <k>]\n"
         "                 [--suppress <rule[,rule...]>]\n"
         "                 [--netlist fc4|fc8|ext|ls]...\n"
@@ -155,6 +166,9 @@ main(int argc, char **argv)
     bool kernels = false;
     bool equiv = false;
     bool timing = false;
+    bool dataflow = false;
+    bool do_prune = false;
+    bool do_hash = false;
     double vdd = kVddNominal;
     size_t top_paths = 8;
     std::vector<std::string> suppressed;
@@ -173,6 +187,12 @@ main(int argc, char **argv)
             equiv = true;
         } else if (arg == "--timing") {
             timing = true;
+        } else if (arg == "--dataflow") {
+            dataflow = true;
+        } else if (arg == "--prune") {
+            do_prune = true;
+        } else if (arg == "--hash") {
+            do_hash = true;
         } else if (arg == "--vdd") {
             if (++i >= argc)
                 return usage();
@@ -226,6 +246,62 @@ main(int argc, char **argv)
                 report.append(
                     timingLint(*nl, tech, vdd, top_paths));
             }
+            if (dataflow)
+                report.append(dataflowLint(*nl));
+            if (do_hash) {
+                Diagnostic d;
+                d.severity = Severity::Note;
+                d.rule = "netlist-hash";
+                d.module = "core";
+                d.message = strfmt(
+                    "canonical structural hash %s",
+                    canonicalNetlistHashHex(*nl).c_str());
+                report.add(std::move(d));
+            }
+            if (do_prune) {
+                PruneResult pr = prune(*nl);
+                if (!pr.ok) {
+                    Diagnostic d;
+                    d.severity = Severity::Error;
+                    d.rule = "prune-failed";
+                    d.module = "core";
+                    d.message = pr.detail;
+                    report.add(std::move(d));
+                } else {
+                    Diagnostic d;
+                    d.severity = Severity::Note;
+                    d.rule = "prune-summary";
+                    d.module = "core";
+                    d.message = strfmt(
+                        "%zu -> %zu cells, %zu -> %zu state bits, "
+                        "%.1f NAND2-equivalents saved "
+                        "(%zu dead, %zu const, %zu const state)",
+                        pr.stats.cellsBefore, pr.stats.cellsAfter,
+                        pr.stats.dffsBefore, pr.stats.dffsAfter,
+                        pr.stats.nand2AreaSaved(),
+                        pr.stats.deadCells, pr.stats.constCells,
+                        pr.stats.constDffs);
+                    report.add(std::move(d));
+                    Diagnostic c;
+                    c.module = "core";
+                    if (pr.certified) {
+                        c.severity = Severity::Note;
+                        c.rule = "prune-certified";
+                        c.message = strfmt(
+                            "SAT-certified equivalent on all "
+                            "observable cones (%zu solver calls)",
+                            static_cast<size_t>(
+                                pr.certification.solves));
+                    } else {
+                        c.severity = Severity::Error;
+                        c.rule = "prune-uncertified";
+                        c.message = pr.certification.detail.empty()
+                                        ? "certification failed"
+                                        : pr.certification.detail;
+                    }
+                    report.add(std::move(c));
+                }
+            }
             results.push_back({nl->name(), std::move(report)});
         }
         if (kernels) {
@@ -271,6 +347,10 @@ main(int argc, char **argv)
     if (!suppressed.empty())
         for (auto &res : results)
             res.report = filterReport(res.report, suppressed);
+
+    // Byte-stable output: canonical order, duplicates dropped.
+    for (auto &res : results)
+        res.report.normalize();
 
     size_t num_errors = 0, num_warnings = 0;
     if (json)
