@@ -375,7 +375,7 @@ encodeNetlist(CnfBuilder &cnf, const Netlist &nl,
             addGateClauses(cnf, cell.type, getLit(cell.output), a, b,
                            c);
         }
-    } else {
+    } else if (opts.mode == NetlistEncodeMode::Plan) {
         // The compiled plan: one 8-bit truth table per step, padded
         // input slots reading the scratch net.
         for (const auto &step : nl.planSteps()) {
@@ -392,6 +392,78 @@ encodeNetlist(CnfBuilder &cnf, const Netlist &nl,
                                                     : in[k]);
                 clause.push_back(v ? out : ~out);
                 cnf.addClause(std::move(clause));
+            }
+        }
+    } else {
+        // The fused-run word program: walk the exact straight-line
+        // program the wide-lane backend dispatches (planRuns()),
+        // encoding each step from its WordOp's gate semantics — the
+        // kernel bodies, not the truth tables — so the fusion and
+        // the per-op word kernels are both inside the proof.
+        const auto steps = nl.planSteps();
+        for (const auto &run : nl.planRuns()) {
+            for (uint32_t s = run.begin; s < run.end; ++s) {
+                const auto &step = steps[s];
+                if (faulted[step.out])
+                    continue;
+                SatLit a = getLit(step.in[0]);
+                SatLit b = getLit(step.in[1]);
+                SatLit c = getLit(step.in[2]);
+                SatLit o;
+                switch (run.op) {
+                  case WordOp::Buf:
+                    o = a;
+                    break;
+                  case WordOp::Inv:
+                    o = ~a;
+                    break;
+                  case WordOp::Nand2:
+                    o = cnf.mkNand(a, b);
+                    break;
+                  case WordOp::Nand3:
+                    o = ~cnf.mkAndN({a, b, c});
+                    break;
+                  case WordOp::Nor2:
+                    o = cnf.mkNor(a, b);
+                    break;
+                  case WordOp::Nor3:
+                    o = ~cnf.mkOrN({a, b, c});
+                    break;
+                  case WordOp::Xor2:
+                    o = cnf.mkXor(a, b);
+                    break;
+                  case WordOp::Xnor2:
+                    o = cnf.mkXnor(a, b);
+                    break;
+                  case WordOp::Mux2:
+                    o = cnf.mkMux(a, b, c);
+                    break;
+                  case WordOp::Lut: {
+                    // lutWord(): OR over the set minterms of the
+                    // 8-bit table.
+                    std::vector<SatLit> terms;
+                    for (unsigned idx = 0; idx < 8; ++idx)
+                        if ((step.lut >> idx) & 1)
+                            terms.push_back(
+                                cnf.mkAndN({(idx & 1) ? a : ~a,
+                                            (idx & 2) ? b : ~b,
+                                            (idx & 4) ? c : ~c}));
+                    o = cnf.mkOrN(terms);
+                    break;
+                  }
+                  default:
+                    panic("encodeNetlist: unexpected word op");
+                }
+                if (enc.net[step.out].code < 0) {
+                    enc.net[step.out] = o;
+                } else {
+                    // A pre-existing literal (e.g. a shared Q net
+                    // can't be a plan output, but stay defensive):
+                    // constrain equality instead of clobbering.
+                    SatLit prev = enc.net[step.out];
+                    cnf.addClause({~prev, o});
+                    cnf.addClause({prev, ~o});
+                }
             }
         }
     }

@@ -136,6 +136,17 @@ checkPlanEquivalence(const Netlist &nl)
     plan_opts.shareWith = &nl;
     NetlistEncoding plan = encodeNetlist(cnf, nl, plan_opts);
 
+    // Third half of the miter: the fused-run word program the
+    // wide-lane compiled backend dispatches, encoded from the WordOp
+    // kernel semantics. Sharing the same input/Q variables proves
+    // scalar plan AND word dispatch against the reference at once.
+    NetlistEncodeOptions word_opts;
+    word_opts.mode = NetlistEncodeMode::WordPlan;
+    word_opts.applyFaults = true;
+    word_opts.share = &ref;
+    word_opts.shareWith = &nl;
+    NetlistEncoding word = encodeNetlist(cnf, nl, word_opts);
+
     auto fail = [&](NetId net) {
         res.hasCex = true;
         res.cex = extractCex(solver, nl, ref);
@@ -146,12 +157,15 @@ checkPlanEquivalence(const Netlist &nl)
     // Sweep every cell cone in plan execution order: each proof is
     // local once its fanin equalities are hardened.
     for (const auto &step : nl.planSteps()) {
-        if (!ref.hasLit(step.out) || !plan.hasLit(step.out)) {
+        if (!ref.hasLit(step.out) || !plan.hasLit(step.out) ||
+            !word.hasLit(step.out)) {
             res.detail = strfmt("net %s missing from an encoding",
                                 nl.netName(step.out).c_str());
             return res;
         }
         if (!proveEqual(cnf, ref.lit(step.out), plan.lit(step.out),
+                        res.solves) ||
+            !proveEqual(cnf, ref.lit(step.out), word.lit(step.out),
                         res.solves)) {
             fail(step.out);
             return res;
@@ -162,7 +176,10 @@ checkPlanEquivalence(const Netlist &nl)
     // forcing Q, exactly as clockEdge() does).
     auto dffs = nl.dffs();
     for (size_t i = 0; i < dffs.size(); ++i) {
-        if (!proveEqual(cnf, ref.dffD[i], plan.dffD[i], res.solves)) {
+        if (!proveEqual(cnf, ref.dffD[i], plan.dffD[i],
+                        res.solves) ||
+            !proveEqual(cnf, ref.dffD[i], word.dffD[i],
+                        res.solves)) {
             fail(dffs[i].q);
             return res;
         }
@@ -382,8 +399,8 @@ equivLint(const Netlist &nl, IsaKind kind)
     EquivResult plan = checkPlanEquivalence(nl);
     if (plan.proven) {
         rep.add({Severity::Note, "equiv-proven", "plan", {}, -1, -1,
-                 strfmt("compiled plan == reference semantics "
-                        "(%llu solves, %llu conflicts)",
+                 strfmt("compiled plan + word dispatch == reference "
+                        "semantics (%llu solves, %llu conflicts)",
                         static_cast<unsigned long long>(plan.solves),
                         static_cast<unsigned long long>(
                             plan.conflicts))});

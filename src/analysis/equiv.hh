@@ -5,10 +5,12 @@
  * Three checkers, all built on the CNF encoder and the CDCL solver:
  *
  *  - checkPlanEquivalence(): proves the compiled evaluation plan
- *    (what evaluate() executes) bit-equal to the CellInst reference
- *    semantics (what evaluateReference() interprets), one cell cone
- *    at a time. The sweep runs in plan order and hardens each proven
- *    equality into the CNF, so every cone check is effectively local.
+ *    (what evaluate() executes) AND the fused-run word-op program
+ *    (what the wide-lane compiled backend dispatches) bit-equal to
+ *    the CellInst reference semantics (what evaluateReference()
+ *    interprets), one cell cone at a time. The sweep runs in plan
+ *    order and hardens each proven equality into the CNF, so every
+ *    cone check is effectively local.
  *
  *  - checkNetlistEquivalence(): proves two netlist instances (e.g. a
  *    cloned die against its template) produce identical primary
@@ -86,9 +88,11 @@ struct IsaEquivResult
 };
 
 /**
- * Prove the compiled evaluation plan of @p nl equivalent to its
- * reference cell semantics (a SAT sweep over every cell cone and
- * every DFF's effective captured value).
+ * Prove the compiled evaluation plan of @p nl — both the scalar
+ * truth-table artifact and the fused-run WordOp program the
+ * wide-lane backend dispatches — equivalent to its reference cell
+ * semantics (a SAT sweep over every cell cone and every DFF's
+ * effective captured value).
  */
 EquivResult checkPlanEquivalence(const Netlist &nl);
 

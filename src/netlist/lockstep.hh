@@ -26,6 +26,7 @@
 
 #include "assembler/program.hh"
 #include "netlist/lane_batch.hh"
+#include "netlist/lane_group.hh"
 #include "netlist/netlist.hh"
 
 namespace flexi
@@ -92,6 +93,43 @@ struct LockstepBatchResult
  *        error totals are only preserved with early_exit = false.
  */
 LockstepBatchResult runLockstepBatch(LaneBatch &batch,
+                                     const Netlist &golden_netlist,
+                                     IsaKind isa, const Program &prog,
+                                     const std::vector<uint8_t> &inputs,
+                                     uint64_t max_instructions,
+                                     bool early_exit);
+
+/** Result of a wide-lane (up to 512 lanes) lockstep run. */
+struct LockstepGroupResult
+{
+    uint64_t cycles = 0;
+    uint64_t instructions = 0;
+    /**
+     * Lanes whose PC and OPORT pads matched golden on every compared
+     * instruction: bit L of word w = lane w*64 + L still clean.
+     */
+    std::array<uint64_t, LaneGroup::kMaxWords> activeMask{};
+    /** Per-lane pad-mismatch count (as LockstepResult::errors). */
+    std::array<uint64_t, LaneGroup::kMaxLanes> errors{};
+
+    bool
+    laneClean(unsigned lane) const
+    {
+        return (activeMask[lane / 64] >> (lane % 64)) & 1ull;
+    }
+};
+
+/**
+ * Wide-lane runLockstepBatch: drive all lanes of @p group — up to
+ * LaneGroup::kMaxLanes dies per pass through the compiled fused-run
+ * plan — in lockstep with one shared golden CoreSim run. Semantics
+ * match runLockstepBatch lane for lane (per-lane error counts are
+ * bit-identical to scalar runLockstep of the same faulted die); the
+ * only difference is capacity and speed: between clockEdge() and the
+ * pad sample the runner re-evaluates only the PC/OPORT pad cones
+ * (LaneGroup::exposeState), which is exact for the compared pads.
+ */
+LockstepGroupResult runLockstepGroup(LaneGroup &group,
                                      const Netlist &golden_netlist,
                                      IsaKind isa, const Program &prog,
                                      const std::vector<uint8_t> &inputs,

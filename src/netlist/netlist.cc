@@ -331,6 +331,20 @@ Netlist::planSteps() const
     return steps;
 }
 
+std::vector<Netlist::PlanRun>
+Netlist::planRuns() const
+{
+    checkElaborated(true);
+    const EvalPlan &plan = s_->plan;
+    std::vector<PlanRun> runs(plan.runOp.size());
+    for (size_t r = 0; r < runs.size(); ++r) {
+        runs[r].begin = plan.runBegin[r];
+        runs[r].end = plan.runBegin[r + 1];
+        runs[r].op = static_cast<WordOp>(plan.runOp[r]);
+    }
+    return runs;
+}
+
 NetId
 Netlist::scratchNet() const
 {
@@ -465,6 +479,21 @@ Netlist::compilePlan()
         plan.wop[i] = static_cast<uint8_t>(wordOpFor(cell.type));
         plan.cell[i] = static_cast<uint32_t>(idx);
     }
+
+    // Fuse adjacent same-op steps into straight-line runs. The
+    // word-parallel evaluator dispatches once per run (threaded
+    // dispatch) instead of classifying every step; the runs must
+    // partition the plan exactly — planRuns() and the formal
+    // word-plan encoding both rely on it.
+    plan.runBegin.clear();
+    plan.runOp.clear();
+    for (size_t i = 0; i < n; ++i) {
+        if (i == 0 || plan.wop[i] != plan.wop[i - 1]) {
+            plan.runBegin.push_back(static_cast<uint32_t>(i));
+            plan.runOp.push_back(plan.wop[i]);
+        }
+    }
+    plan.runBegin.push_back(static_cast<uint32_t>(n));
 
     size_t nd = s_->dffCells.size();
     plan.dffD.resize(nd);

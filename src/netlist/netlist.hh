@@ -54,6 +54,7 @@ namespace flexi
 {
 
 class LaneBatch;
+class LaneGroup;
 
 using NetId = uint32_t;
 constexpr NetId kNoNet = ~0u;
@@ -81,6 +82,10 @@ enum class WordOp : uint8_t
     Mux2,   ///< inputs {a, b, sel} -> sel ? b : a
     Lut,
 };
+
+/** Number of WordOp codes (Lut is last). */
+constexpr unsigned kNumWordOps =
+    static_cast<unsigned>(WordOp::Lut) + 1;
 
 /** A standard-cell instance. */
 struct CellInst
@@ -143,6 +148,7 @@ class BusHandle
   private:
     friend class Netlist;
     friend class LaneBatch;
+    friend class LaneGroup;
     std::vector<NetId> nets_;   ///< LSB first
     bool input_ = false;
 };
@@ -384,6 +390,25 @@ class Netlist
     /** The always-zero scratch net padding unused plan slots. */
     NetId scratchNet() const;
 
+    /**
+     * One fused run of the compiled plan: plan steps
+     * [begin, end) share the same WordOp, so the word-parallel
+     * evaluator dispatches once per run and executes the steps as a
+     * straight-line loop. Runs partition the plan exactly: the first
+     * run starts at step 0, each run starts where the previous one
+     * ended, and the last run ends at planSteps().size(). The formal
+     * checker's word-plan encoding walks this exact program, so the
+     * fusion itself is inside the proof.
+     */
+    struct PlanRun
+    {
+        uint32_t begin;
+        uint32_t end;
+        WordOp op;
+    };
+    /** The fused-run program, in execution order (post-elaborate). */
+    std::vector<PlanRun> planRuns() const;
+
     /** One DFF, in commit (construction) order. */
     struct DffInfo
     {
@@ -404,9 +429,12 @@ class Netlist
     ///@}
 
   private:
-    /// The 64-lane word-parallel evaluator shares the structure and
-    /// mirrors the per-instance state at bit granularity.
+    /// The word-parallel evaluators share the structure and mirror
+    /// the per-instance state at bit granularity: LaneBatch packs 64
+    /// lanes into single words, LaneGroup generalizes to
+    /// structure-of-arrays lane groups of several words per net.
     friend class LaneBatch;
+    friend class LaneGroup;
 
     /**
      * The compiled flat evaluation plan: combinational cells in
@@ -422,6 +450,14 @@ class Netlist
         std::vector<uint8_t> lut;     ///< truth table per comb cell
         std::vector<uint8_t> wop;     ///< WordOp per comb cell
         std::vector<uint32_t> cell;   ///< original cell index
+        /**
+         * Adjacent same-op steps fused into straight-line runs: run r
+         * covers steps [runBegin[r], runBegin[r+1]) and executes op
+         * runOp[r]. runBegin has runOp.size() + 1 entries; the runs
+         * partition [0, out.size()) exactly.
+         */
+        std::vector<uint32_t> runBegin;
+        std::vector<uint8_t> runOp;
         std::vector<NetId> dffD;
         std::vector<NetId> dffQ;
         std::vector<uint32_t> dffCell;

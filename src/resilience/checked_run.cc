@@ -6,7 +6,7 @@
 
 #include "common/logging.hh"
 #include "isa/encoding.hh"
-#include "netlist/lane_batch.hh"
+#include "netlist/lane_group.hh"
 #include "sim/core_sim.hh"
 #include "sim/environment.hh"
 #include "sim/mmu.hh"
@@ -476,9 +476,9 @@ prescreenSchedules(const Netlist &golden_netlist, const Program &prog,
     // so the shared state below (held input, MMU page) only ever has
     // to be correct for lanes that are still tracking golden exactly.
     unsigned lanes = static_cast<unsigned>(schedules.size());
-    if (lanes == 0 || lanes > LaneBatch::kMaxLanes)
+    if (lanes == 0 || lanes > LaneGroup::kMaxLanes)
         fatal("prescreenSchedules: bad lane count %u", lanes);
-    LaneBatch batch(golden_netlist, lanes);
+    LaneGroup batch(golden_netlist, lanes);
 
     bool wide = cfg.isa == IsaKind::ExtAcc4 ||
                 cfg.isa == IsaKind::LoadStore4;
@@ -517,7 +517,7 @@ prescreenSchedules(const Netlist &golden_netlist, const Program &prog,
                       return a.cycle < b.cycle;
                   });
     }
-    std::array<size_t, LaneBatch::kMaxLanes> flipIdx{};
+    std::array<size_t, LaneGroup::kMaxLanes> flipIdx{};
 
     // A clean lane emits golden's exact output values, so one shared
     // mirror MMU fed those values reproduces every clean lane's page
@@ -527,14 +527,27 @@ prescreenSchedules(const Netlist &golden_netlist, const Program &prog,
     unsigned mirrorPage = 0;
     static const std::vector<uint8_t> kUnmappedPage;
 
-    uint64_t active = batch.laneMask();
-    std::array<uint32_t, LaneBatch::kMaxLanes> diePc{};
-    std::array<uint32_t, LaneBatch::kMaxLanes> dieInstr{};
-    std::array<uint32_t, LaneBatch::kMaxLanes> dieOport{};
-    std::array<uint32_t, LaneBatch::kMaxLanes> lastPc;
+    std::array<uint64_t, LaneGroup::kMaxWords> active{};
+    for (unsigned w = 0; w < batch.words(); ++w)
+        active[w] = batch.laneMaskWord(w);
+    auto anyActive = [&]() {
+        for (uint64_t m : active)
+            if (m)
+                return true;
+        return false;
+    };
+    std::array<uint8_t, LaneGroup::kMaxLanes> diePc{};
+    std::array<uint32_t, LaneGroup::kMaxLanes> dieInstr16{};
+    std::vector<uint8_t> fetchTable;
+    unsigned fetchTablePage = ~0u;
+    std::array<uint32_t, LaneGroup::kMaxLanes> lastPc;
     lastPc.fill(kNoPc);
-    std::array<uint64_t, LaneBatch::kMaxLanes> frozen{};
+    std::array<uint64_t, LaneGroup::kMaxLanes> frozen{};
     size_t inputIdx = 0;
+
+    // Post-edge pad sampling only reads the PC/OPORT pads, so the
+    // post-clock evaluate narrows to their fan-in cones.
+    LaneGroup::PadCone padCone = batch.padCone({&pcBus, &oportBus});
 
     PrescreenResult res;
     uint64_t instructions = 0;
@@ -554,7 +567,7 @@ prescreenSchedules(const Netlist &golden_netlist, const Program &prog,
         if (instructions >= cfg.maxInstructions ||
             res.cycles >= maxCycles)
             break;
-        if (!active)
+        if (!anyActive())
             break;
 
         const std::vector<uint8_t> &gimage =
@@ -570,6 +583,16 @@ prescreenSchedules(const Netlist &golden_netlist, const Program &prog,
         auto fetch = [&](unsigned addr) -> uint8_t {
             return addr < dimage.size() ? dimage[addr] : 0;
         };
+        if (!wide && fetchTablePage != mirrorPage) {
+            // Narrow fetch goes through the fused indexed drive;
+            // (re)pad the current page to the PC address space when
+            // the mirror MMU pages (out-of-image fetches read 0).
+            fetchTable.assign(size_t(1) << pcBus.width(), 0);
+            for (size_t a = 0;
+                 a < fetchTable.size() && a < dimage.size(); ++a)
+                fetchTable[a] = dimage[a];
+            fetchTablePage = mirrorPage;
+        }
 
         unsigned cycles = wide ? 1 : dec.bytes;
         for (unsigned c = 0; c < cycles; ++c) {
@@ -583,26 +606,36 @@ prescreenSchedules(const Netlist &golden_netlist, const Program &prog,
                                           numDffs);
                     ++flipIdx[lane];
                 }
-                unsigned pcv = diePc[lane];
-                if (wide) {
-                    unsigned base = wordPc ? pcv * 2 : pcv;
-                    dieInstr[lane] =
+            }
+            if (wide) {
+                batch.gatherBusBytes(pcBus, diePc.data());
+                for (unsigned lane = 0; lane < lanes; ++lane) {
+                    unsigned base = wordPc ? diePc[lane] * 2
+                                           : diePc[lane];
+                    dieInstr16[lane] =
                         fetch(base) |
                         static_cast<unsigned>(fetch(base + 1)) << 8;
-                } else {
-                    dieInstr[lane] = fetch(pcv);
                 }
+                batch.setBusLanes(instrBus, dieInstr16.data());
+            } else {
+                batch.driveBusFromTable(pcBus, instrBus,
+                                        fetchTable.data());
             }
-            batch.setBusLanes(instrBus, dieInstr.data());
             batch.setBus(iportBus, env.held);
             batch.evaluate();
             batch.clockEdge();
-            batch.evaluate();   // expose new state on the pads
+            batch.exposeState(padCone);   // new state on the pads
             ++res.cycles;
-            batch.gatherBus(pcBus, diePc.data());
 
+            // Frozen-PC tracking is only consumed by the watchdog
+            // retire below; with no watchdog armed the per-lane PC
+            // gather is dead work.
+            if (!cfg.detectors.watchdog)
+                continue;
+            batch.gatherBusBytes(pcBus, diePc.data());
             for (unsigned lane = 0; lane < lanes; ++lane) {
-                if (!((active >> lane) & 1))
+                uint64_t bit = 1ull << (lane % 64);
+                if (!(active[lane / 64] & bit))
                     continue;
                 if (diePc[lane] == lastPc[lane]) {
                     ++frozen[lane];
@@ -613,10 +646,9 @@ prescreenSchedules(const Netlist &golden_netlist, const Program &prog,
                 // An armed watchdog would fire here in the scalar
                 // runner; that lane's trajectory is no longer the
                 // unprotected one, so hand it to the scalar path.
-                if (cfg.detectors.watchdog &&
-                    frozen[lane] ==
-                        cfg.detectors.watchdogCycles + 1)
-                    active &= ~(1ull << lane);
+                if (frozen[lane] ==
+                    cfg.detectors.watchdogCycles + 1)
+                    active[lane / 64] &= ~bit;
             }
         }
 
@@ -636,18 +668,20 @@ prescreenSchedules(const Netlist &golden_netlist, const Program &prog,
             }
         }
 
-        batch.gatherBus(oportBus, dieOport.data());
-        unsigned gpc = golden.pc();
-        unsigned gout = golden.outputLatch();
-        for (unsigned lane = 0; lane < lanes; ++lane) {
-            if (!((active >> lane) & 1))
-                continue;
-            if (diePc[lane] != gpc || dieOport[lane] != gout)
-                active &= ~(1ull << lane);
-        }
+        // Boundary compare in the bit domain: clearing an already
+        // retired lane's bit is a no-op, so no per-lane active test
+        // is needed.
+        std::array<uint64_t, LaneGroup::kMaxWords> pcDiff;
+        std::array<uint64_t, LaneGroup::kMaxWords> opDiff;
+        batch.busMismatch(pcBus, golden.pc(), pcDiff.data());
+        batch.busMismatch(oportBus, golden.outputLatch(),
+                          opDiff.data());
+        for (unsigned w = 0; w < batch.words(); ++w)
+            active[w] &= ~(pcDiff[w] | opDiff[w]);
     }
 
-    res.cleanMask = res.completed ? active : 0;
+    if (res.completed)
+        res.cleanMask = active;
     return res;
 }
 

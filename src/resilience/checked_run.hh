@@ -29,11 +29,13 @@
 #ifndef FLEXI_RESILIENCE_CHECKED_RUN_HH
 #define FLEXI_RESILIENCE_CHECKED_RUN_HH
 
+#include <array>
 #include <cstdint>
 #include <string>
 #include <vector>
 
 #include "assembler/program.hh"
+#include "netlist/lane_group.hh"
 #include "netlist/netlist.hh"
 
 namespace flexi
@@ -156,9 +158,16 @@ struct PrescreenResult
      * watchdog, and the run completed within budget. A clean lane's
      * full runChecked() result is known without running it: outcome
      * Completed, outputs correct, zero detections/retries/restarts,
-     * and cycles equal to the prescreen's cycle count.
+     * and cycles equal to the prescreen's cycle count. Bit L of word
+     * w covers lane w*64 + L; query with clean().
      */
-    uint64_t cleanMask = 0;
+    std::array<uint64_t, LaneGroup::kMaxWords> cleanMask{};
+
+    bool
+    clean(unsigned lane) const
+    {
+        return (cleanMask[lane / 64] >> (lane % 64)) & 1ull;
+    }
     /** Die cycles driven (the clean lanes' runChecked cycles). */
     uint64_t cycles = 0;
     /** Golden run reached done() within the instruction/cycle
@@ -167,9 +176,10 @@ struct PrescreenResult
 };
 
 /**
- * Drive up to 64 fault schedules through one shared unprotected
- * lockstep pass of @p prog on a LaneBatch of @p golden's structure,
- * and prove which lanes a scalar runChecked() under @p cfg would
+ * Drive up to LaneGroup::kMaxLanes (512) fault schedules through one
+ * shared unprotected lockstep pass of @p prog on a LaneGroup of
+ * @p golden's structure (the wide-lane compiled backend), and prove
+ * which lanes a scalar runChecked() under @p cfg would
  * classify as fault-free behaviour (no divergence from golden, no
  * detector able to fire). Lanes NOT in cleanMask have diverged — or
  * could not be proven clean — and must be re-run through the scalar

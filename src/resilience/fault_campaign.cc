@@ -10,7 +10,7 @@
 #include "kernels/fc8_programs.hh"
 #include "kernels/inputs.hh"
 #include "netlist/flexicore_netlist.hh"
-#include "netlist/lane_batch.hh"
+#include "netlist/lane_group.hh"
 
 namespace flexi
 {
@@ -219,17 +219,17 @@ runFaultCampaign(const CampaignConfig &config)
                                 static_cast<unsigned>(i));
     });
 
-    // Phase 1: 64-lane lockstep prescreen. Most injections are
+    // Phase 1: wide-lane lockstep prescreen. Most injections are
     // masked — the upset lands in logic the workload never exercises
     // — and a masked run is exactly one unprotected golden-tracking
-    // pass, so one word-parallel pass settles up to 64 of them at
+    // pass, so one word-parallel pass settles up to 512 of them at
     // once. Lanes the prescreen cannot prove clean fall through to
     // the scalar checked runtime, whose results are authoritative;
     // batch membership is a pure function of injection index, so
     // thread count and lane width cannot change any outcome.
     unsigned lanes = std::min<unsigned>(
         config.batchLanes ? config.batchLanes : 1,
-        LaneBatch::kMaxLanes);
+        LaneGroup::kMaxLanes);
     std::vector<uint8_t> screened(config.injections, 0);
     if (lanes > 1) {
         size_t num_batches = (config.injections + lanes - 1) / lanes;
@@ -243,7 +243,7 @@ runFaultCampaign(const CampaignConfig &config)
             PrescreenResult ps = prescreenSchedules(
                 *golden, work.prog, work.inputs, runCfg, group);
             for (unsigned lane = 0; lane < n; ++lane) {
-                if (!((ps.cleanMask >> lane) & 1))
+                if (!ps.clean(lane))
                     continue;
                 size_t i = begin + lane;
                 InjectionResult &inj = result.injections[i];

@@ -114,13 +114,14 @@ struct CampaignConfig
     uint64_t maxInstructions = 60000;
     /**
      * Bit-parallel prescreen width: up to batchLanes injection
-     * schedules run together through one unprotected lockstep pass;
-     * lanes that never diverge from golden are classified Masked
-     * directly, the rest re-run through the scalar checked runtime.
-     * 1 forces the all-scalar path. Outcomes are bit-identical for
-     * any value (the prescreen only skips work it can prove).
+     * schedules run together through one unprotected lockstep pass
+     * on the wide-lane compiled backend (up to 512 lanes); lanes
+     * that never diverge from golden are classified Masked directly,
+     * the rest re-run through the scalar checked runtime. 1 forces
+     * the all-scalar path. Outcomes are bit-identical for any value
+     * (the prescreen only skips work it can prove).
      */
-    unsigned batchLanes = 64;
+    unsigned batchLanes = 512;
 };
 
 /** Aggregated classification counts. */

@@ -1,5 +1,10 @@
 #include "test_program.hh"
 
+#include <map>
+#include <memory>
+#include <mutex>
+#include <utility>
+
 #include "assembler/assembler.hh"
 #include "common/logging.hh"
 #include "common/rng.hh"
@@ -56,6 +61,23 @@ makeTestProgram(IsaKind isa, uint64_t seed)
     Program prog(isa);
     prog.appendBytes(0, image);
     return prog;
+}
+
+const Program &
+cachedTestProgram(IsaKind isa, uint64_t seed)
+{
+    static std::mutex mu;
+    static std::map<std::pair<int, uint64_t>, std::unique_ptr<Program>>
+        cache;
+    std::lock_guard<std::mutex> lock(mu);
+    auto key = std::make_pair(static_cast<int>(isa), seed);
+    auto it = cache.find(key);
+    if (it == cache.end())
+        it = cache
+                 .emplace(key, std::make_unique<Program>(
+                                   makeTestProgram(isa, seed)))
+                 .first;
+    return *it->second;
 }
 
 std::vector<uint8_t>

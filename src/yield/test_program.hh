@@ -26,6 +26,16 @@ namespace flexi
 /** Build the wafer-test program for a fabricated ISA. */
 Program makeTestProgram(IsaKind isa, uint64_t seed);
 
+/**
+ * Memoized makeTestProgram. A batched wafer study's whole gate-level
+ * phase runs in a few hundred microseconds, so re-assembling the
+ * same deterministic (isa, seed) program on every call — tens of
+ * microseconds — is a measurable share of it; population sweeps call
+ * in with the same few keys thousands of times. Thread-safe; the
+ * returned reference lives for the process.
+ */
+const Program &cachedTestProgram(IsaKind isa, uint64_t seed);
+
 /** Random input-bus stimulus values (masked to the data width). */
 std::vector<uint8_t> makeTestInputs(IsaKind isa, size_t n,
                                     uint64_t seed);

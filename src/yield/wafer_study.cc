@@ -166,7 +166,8 @@ runWaferStudy(const WaferStudyConfig &config)
     DesignSpec spec = designSpecFor(config.isa);
     DieModel model(spec, config.params);
 
-    Program test_prog = makeTestProgram(config.isa, config.seed);
+    const Program &test_prog =
+        cachedTestProgram(config.isa, config.seed);
     std::vector<uint8_t> test_inputs =
         makeTestInputs(config.isa, 256, config.seed);
     const Netlist *golden =
@@ -182,7 +183,7 @@ runWaferStudy(const WaferStudyConfig &config)
     // forces the scalar clone-per-die path.
     unsigned lanes = std::min<unsigned>(
         config.batchLanes ? config.batchLanes : 1,
-        LaneBatch::kMaxLanes);
+        LaneGroup::kMaxLanes);
     const bool batched = golden && lanes > 1;
 
     const std::vector<DieSite> &sites = wafer.sites();
@@ -228,13 +229,13 @@ runWaferStudy(const WaferStudyConfig &config)
 
     if (batched) {
         // Phase 2: gate-level fault sim of the defective dies, up to
-        // 64 to a word. Batch membership is a pure function of die
-        // index order (thread count cannot perturb it), each lane's
-        // lockstep error count is bit-identical to a scalar
-        // runLockstep of the same faulted die, and both voltage
-        // probes receive the same count — exactly what the scalar
-        // path computes by running the identical deterministic
-        // lockstep once per voltage.
+        // 512 to a wide lane group. Batch membership is a pure
+        // function of die index order (thread count cannot perturb
+        // it), each lane's lockstep error count is bit-identical to
+        // a scalar runLockstep of the same faulted die, and both
+        // voltage probes receive the same count — exactly what the
+        // scalar path computes by running the identical
+        // deterministic lockstep once per voltage.
         std::vector<size_t> defective;
         for (size_t i = 0; i < result.dies.size(); ++i)
             if (result.dies[i].sample.hasDefects())
@@ -244,13 +245,13 @@ runWaferStudy(const WaferStudyConfig &config)
             size_t begin = b * lanes;
             unsigned n = static_cast<unsigned>(std::min<size_t>(
                 lanes, defective.size() - begin));
-            LaneBatch batch(*golden, n);
+            LaneGroup group(*golden, n);
             for (unsigned lane = 0; lane < n; ++lane)
                 for (const StuckFault &f :
                      result.dies[defective[begin + lane]].faults)
-                    batch.injectFault(lane, f);
-            LockstepBatchResult res = runLockstepBatch(
-                batch, *golden, config.isa, test_prog, test_inputs,
+                    group.injectFault(lane, f);
+            LockstepGroupResult res = runLockstepGroup(
+                group, *golden, config.isa, test_prog, test_inputs,
                 config.testCycles, config.earlyExit);
             for (unsigned lane = 0; lane < n; ++lane) {
                 DieResult &die =

@@ -71,14 +71,15 @@ struct WaferStudyConfig
     unsigned threads = 0;
     /**
      * Bit-parallel lanes for the gate-level fault sim of defective
-     * dies: dies are packed up to batchLanes to a LaneBatch word and
+     * dies: dies are packed up to batchLanes to a LaneGroup (the
+     * wide-lane compiled backend, up to 512 lanes) and
      * fault-simulated together; 1 forces the scalar clone-per-die
      * path. Every die still draws from its own (seed, site.index)
      * RNG stream and the lockstep error counts are lane-exact, so
      * yields, per-die error counts, and fault lists are
      * bit-identical for any value.
      */
-    unsigned batchLanes = 64;
+    unsigned batchLanes = 512;
     /**
      * Retire a defective die's lane at its first pad mismatch
      * instead of counting mismatches across the whole vector suite

@@ -363,14 +363,19 @@ TEST(FaultCampaign, BatchLanesBitIdenticalToScalar)
     cfg.batchLanes = 5;   // ragged batches
     cfg.threads = 4;
     CampaignResult ragged = runFaultCampaign(cfg);
+    cfg.batchLanes = 512;   // wide 8-word groups (the default)
+    cfg.threads = 1;
+    CampaignResult wide = runFaultCampaign(cfg);
 
     EXPECT_EQ(scalar.baselineCycles, batched.baselineCycles);
     ASSERT_EQ(scalar.injections.size(), batched.injections.size());
     ASSERT_EQ(scalar.injections.size(), ragged.injections.size());
+    ASSERT_EQ(scalar.injections.size(), wide.injections.size());
     for (size_t i = 0; i < scalar.injections.size(); ++i) {
         const InjectionResult &a = scalar.injections[i];
         for (const InjectionResult *b :
-             {&batched.injections[i], &ragged.injections[i]}) {
+             {&batched.injections[i], &ragged.injections[i],
+              &wide.injections[i]}) {
             EXPECT_EQ(a.kind, b->kind) << i;
             EXPECT_EQ(a.outcome, b->outcome) << i;
             EXPECT_EQ(a.runOutcome, b->runOutcome) << i;

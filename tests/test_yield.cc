@@ -438,13 +438,21 @@ TEST(WaferStudy, BatchedLanesBitIdenticalToScalar)
     cfg.batchLanes = 7;   // ragged batches
     cfg.threads = 4;
     auto ragged = runWaferStudy(cfg);
+    cfg.batchLanes = 256;   // 4-word groups
+    auto wide4 = runWaferStudy(cfg);
+    cfg.batchLanes = 512;   // 8-word groups (the default)
+    cfg.threads = 1;
+    auto wide8 = runWaferStudy(cfg);
 
     ASSERT_EQ(scalar.dies.size(), batched.dies.size());
     ASSERT_EQ(scalar.dies.size(), ragged.dies.size());
+    ASSERT_EQ(scalar.dies.size(), wide4.dies.size());
+    ASSERT_EQ(scalar.dies.size(), wide8.dies.size());
     for (size_t i = 0; i < scalar.dies.size(); ++i) {
         const DieResult &a = scalar.dies[i];
         for (const DieResult *b :
-             {&batched.dies[i], &ragged.dies[i]}) {
+             {&batched.dies[i], &ragged.dies[i], &wide4.dies[i],
+              &wide8.dies[i]}) {
             EXPECT_EQ(a.site.index, b->site.index) << i;
             EXPECT_EQ(a.sample.defects, b->sample.defects) << i;
             EXPECT_EQ(a.at45V.errors, b->at45V.errors) << i;

@@ -4,6 +4,7 @@
 Usage:
     bench_compare.py BASELINE.json NEW.json [--threshold R]
                      [--metric real_time|cpu_time] [--allow-debug]
+                     [--require NAME]...
 
 Every benchmark present in BASELINE is looked up in NEW by name and
 the chosen per-iteration metric is compared; a benchmark whose
@@ -11,6 +12,19 @@ NEW/BASELINE ratio exceeds the threshold is a regression and makes
 the script exit non-zero, as does a baseline benchmark missing from
 NEW (a silently deleted benchmark is how throughput numbers rot).
 Benchmarks only present in NEW are reported but never fail.
+
+Benchmarks that report items_per_second (the throughput benchmarks
+count simulated die-cycles as items) additionally get a per-item
+cost column: ns/item = 1e9 / items_per_second for both snapshots,
+with the same ratio test applied. Per-item cost is the number that
+tracks simulator efficiency independent of how many die-cycles a
+benchmark happens to run, so its regression is flagged even when
+wall time moved for an innocent reason (e.g. the workload shrank).
+
+--require NAME (repeatable) asserts that a benchmark whose name
+starts with NAME exists in BOTH snapshots; use it in CI to pin the
+benchmarks the thresholds are meant to guard, so renaming one away
+cannot silently drop it from the comparison.
 
 A snapshot recorded from a debug build (context flexi_build_type ==
 "debug", the field bench_sim_throughput emits itself) fails the
@@ -62,6 +76,15 @@ def by_name(doc):
     return out
 
 
+def per_item_ns(bench):
+    """Per-item cost in ns (1e9 / items_per_second), or None when
+    the benchmark does not report a throughput counter."""
+    ips = bench.get("items_per_second")
+    if not isinstance(ips, (int, float)) or ips <= 0:
+        return None
+    return 1e9 / ips
+
+
 def main():
     ap = argparse.ArgumentParser(
         description="diff two google-benchmark JSON snapshots")
@@ -74,6 +97,11 @@ def main():
                     choices=["real_time", "cpu_time"])
     ap.add_argument("--allow-debug", action="store_true",
                     help="permit snapshots recorded from debug builds")
+    ap.add_argument("--require", action="append", default=[],
+                    metavar="NAME",
+                    help="fail unless a benchmark whose name starts "
+                         "with NAME is present in both snapshots "
+                         "(repeatable)")
     args = ap.parse_args()
 
     base_doc = load(args.baseline, "baseline")
@@ -91,6 +119,15 @@ def main():
 
     base = by_name(base_doc)
     new = by_name(new_doc)
+
+    for prefix in args.require:
+        for label, names in (("baseline", base), ("new", new)):
+            if not any(n.startswith(prefix) for n in names):
+                print(f"FAIL: required benchmark '{prefix}*' missing "
+                      f"from {label} snapshot", file=sys.stderr)
+                status = 1
+    if status:
+        return status
 
     width = max((len(n) for n in base), default=0)
     for name, b in sorted(base.items()):
@@ -112,9 +149,20 @@ def main():
         unit = b.get("time_unit", "ns")
         line = (f"{name:<{width}}  {old_t:12.3f} -> {new_t:12.3f} "
                 f"{unit}  ({ratio:5.2f}x)")
+        old_ni = per_item_ns(b)
+        new_ni = per_item_ns(new[name])
+        item_ratio = None
+        if old_ni is not None and new_ni is not None:
+            item_ratio = new_ni / old_ni
+            line += (f"  |  {old_ni:9.2f} -> {new_ni:9.2f} ns/item "
+                     f"({item_ratio:5.2f}x)")
         if ratio > args.threshold:
             print(f"FAIL: {line}  exceeds {args.threshold:.2f}x",
                   file=sys.stderr)
+            status = 1
+        elif item_ratio is not None and item_ratio > args.threshold:
+            print(f"FAIL: {line}  per-item cost exceeds "
+                  f"{args.threshold:.2f}x", file=sys.stderr)
             status = 1
         else:
             print(f"  ok: {line}")

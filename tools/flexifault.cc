@@ -80,6 +80,25 @@ struct Args
         const char *v = option(name);
         return v ? std::strtoull(v, nullptr, 0) : fallback;
     }
+
+    /**
+     * Consume "--name <value>" as a lane count: strictly numeric,
+     * at least 1, at most @p max (the compiled group maximum).
+     * Anything else is a one-line fatal error (exit 1).
+     */
+    unsigned
+    laneCount(const char *name, unsigned fallback, unsigned max)
+    {
+        const char *v = option(name);
+        if (!v)
+            return fallback;
+        char *end = nullptr;
+        unsigned long long n = std::strtoull(v, &end, 0);
+        if (end == v || *end != '\0' || n == 0 || n > max)
+            fatal("%s: expected a lane count in 1..%u, got '%s'",
+                  name, max, v);
+        return static_cast<unsigned>(n);
+    }
 };
 
 int
@@ -93,10 +112,10 @@ cmdCampaign(Args &args)
         static_cast<unsigned>(args.number("--injections", 96));
     cfg.workUnits = args.number("--work", 6);
     cfg.threads = static_cast<unsigned>(args.number("--threads", 0));
-    // 64 = full word-parallel prescreen, 1 = scalar lane-by-lane
+    // 512 = full wide-lane prescreen, 1 = scalar lane-by-lane
     // (debuggable); outcomes are bit-identical for any value.
-    cfg.batchLanes =
-        static_cast<unsigned>(args.number("--batch-lanes", 64));
+    cfg.batchLanes = args.laneCount("--batch-lanes", 512,
+                                    LaneGroup::kMaxLanes);
     if (args.flag("--no-detectors"))
         cfg.detectors = DetectorConfig{false, false, false,
                                        cfg.detectors.watchdogCycles};
