@@ -215,6 +215,47 @@ CnfBuilder::orReduce(const Word &w)
     return mkOrN(w);
 }
 
+SatLit
+CnfBuilder::lessThanConst(const Word &w, uint64_t value)
+{
+    if (value == 0)
+        return constFalse();
+    if (w.empty() || value >= (uint64_t{1} << w.size()))
+        return constTrue();
+    // MSB-down: strictly less as soon as a 1-bit of the constant
+    // meets a 0-bit of the word with an equal prefix above it.
+    SatLit lt = constFalse();
+    SatLit eq = constTrue();
+    for (size_t i = w.size(); i-- > 0;) {
+        bool vbit = (value >> i) & 1u;
+        if (vbit)
+            lt = mkOr(lt, mkAnd(eq, ~w[i]));
+        eq = mkAnd(eq, vbit ? w[i] : ~w[i]);
+    }
+    return lt;
+}
+
+SatLit
+CnfBuilder::equalWords(const Word &a, const Word &b)
+{
+    if (a.size() != b.size())
+        panic("CnfBuilder::equalWords: width mismatch");
+    std::vector<SatLit> bits;
+    bits.reserve(a.size());
+    for (size_t i = 0; i < a.size(); ++i)
+        bits.push_back(mkXnor(a[i], b[i]));
+    return mkAndN(bits);
+}
+
+void
+CnfBuilder::bindEqual(SatLit a, SatLit b)
+{
+    if (a == b)
+        return;
+    addClause({~a, b});
+    addClause({a, ~b});
+}
+
 uint64_t
 CnfBuilder::modelWord(const Word &w) const
 {
@@ -337,10 +378,17 @@ encodeNetlist(CnfBuilder &cnf, const Netlist &nl,
     if (opts.share && opts.share->dffQ.size() != dffs.size())
         panic("encodeNetlist: DFF count mismatch (%zu vs %zu)",
               opts.share->dffQ.size(), dffs.size());
+    if (opts.bindQ && opts.bindQ->size() != dffs.size())
+        panic("encodeNetlist: bindQ count mismatch (%zu vs %zu)",
+              opts.bindQ->size(), dffs.size());
     enc.dffQ.resize(dffs.size());
     for (size_t i = 0; i < dffs.size(); ++i) {
-        enc.net[dffs[i].q] =
-            opts.share ? opts.share->dffQ[i] : getLit(dffs[i].q);
+        if (opts.share)
+            enc.net[dffs[i].q] = opts.share->dffQ[i];
+        else if (opts.bindQ)
+            enc.net[dffs[i].q] = (*opts.bindQ)[i];
+        else
+            enc.net[dffs[i].q] = getLit(dffs[i].q);
         enc.dffQ[i] = enc.net[dffs[i].q];
     }
 

@@ -81,6 +81,12 @@ class CnfBuilder
     Word mux(const Word &a, const Word &b, SatLit sel);
     Word invert(const Word &a);
     SatLit equalsConst(const Word &w, uint64_t value);
+    /** Unsigned w < value (the sequential checker's bound props). */
+    SatLit lessThanConst(const Word &w, uint64_t value);
+    /** Bitwise equality of two same-width words. */
+    SatLit equalWords(const Word &a, const Word &b);
+    /** Constrain two literals equal (two binary clauses). */
+    void bindEqual(SatLit a, SatLit b);
     SatLit orReduce(const Word &w);
     SatLit norReduce(const Word &w) { return ~orReduce(w); }
     ///@}
@@ -128,6 +134,14 @@ struct NetlistEncodeOptions
      */
     const NetlistEncoding *share = nullptr;
     const Netlist *shareWith = nullptr;
+    /**
+     * Bind every DFF Q literal (commit order) to the given literal
+     * instead of a fresh variable. The sequential unroller stitches
+     * timestep t+1 to timestep t by binding the new frame's Q nets
+     * to the previous frame's effective dffD literals. Mutually
+     * exclusive with `share`.
+     */
+    const std::vector<SatLit> *bindQ = nullptr;
 };
 
 NetlistEncoding encodeNetlist(CnfBuilder &cnf, const Netlist &nl,

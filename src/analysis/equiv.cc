@@ -57,7 +57,8 @@ proveEqual(CnfBuilder &cnf, SatLit a, SatLit b, uint64_t &solves)
 } // namespace
 
 std::string
-EquivCounterexample::text() const
+packedAssignmentText(
+    const std::vector<std::pair<std::string, bool>> &assignment)
 {
     // Pack bit groups that share a name prefix into bus values.
     std::map<std::string, std::map<unsigned, bool>> buses;
@@ -110,7 +111,13 @@ EquivCounterexample::text() const
     }
     for (const auto &[name, v] : singles)
         emit(strfmt("%s=%d", name.c_str(), v ? 1 : 0));
+    return out;
+}
 
+std::string
+EquivCounterexample::text() const
+{
+    std::string out = packedAssignmentText(assignment);
     out += " -> mismatch on ";
     for (size_t i = 0; i < mismatched.size(); ++i)
         out += (i ? ", " : "") + mismatched[i];

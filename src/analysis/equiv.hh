@@ -41,6 +41,15 @@
 namespace flexi
 {
 
+/**
+ * Compact rendering of a named bit assignment: groups sharing a
+ * name prefix ("acc0".."acc3") are packed into hex bus values.
+ * Shared by the combinational counterexamples and the sequential
+ * checker's multi-cycle traces.
+ */
+std::string packedAssignmentText(
+    const std::vector<std::pair<std::string, bool>> &assignment);
+
 /** A satisfying assignment that separates the two sides of a miter. */
 struct EquivCounterexample
 {

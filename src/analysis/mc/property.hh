@@ -1,0 +1,117 @@
+/**
+ * @file
+ * The sequential property catalog and its little spec language.
+ *
+ * Properties are invariants ("G P" in LTL terms) over a bounded
+ * window of consecutive timesteps. The spec grammar, also accepted
+ * by `flexilint --prop`:
+ *
+ *   assert:<net>=<0|1>            named net holds the value in
+ *                                 every cycle (user / netlist
+ *                                 assertions over labeled state)
+ *   bound:<bus>/<width>/<limit>   the named output pad bus stays
+ *                                 strictly below <limit>
+ *   watchdog[:N]                  once the PC has been stuck for N
+ *                                 cycles it stays stuck — the wedge
+ *                                 is stable, so a threshold-N PC
+ *                                 watchdog trips within N cycles of
+ *                                 any hang and never misses one
+ *                                 (requires the ROM-closed model)
+ *   mmu-page                      the PC never leaves the assembled
+ *                                 page-0 image (sugar for a bound
+ *                                 derived from the program; requires
+ *                                 the ROM-closed model, refuses
+ *                                 multi-page programs)
+ *   xfree[:K]                     every X-after-reset state bit is
+ *                                 re-initialized within K cycles
+ *                                 regardless of the power-on state
+ *                                 (checked by the dedicated
+ *                                 seqResetCoverage() algorithm, not
+ *                                 by the BMC/induction engines)
+ *
+ * docs/FORMAL.md documents the language and the soundness arguments.
+ */
+
+#ifndef FLEXI_ANALYSIS_MC_PROPERTY_HH
+#define FLEXI_ANALYSIS_MC_PROPERTY_HH
+
+#include <string>
+#include <vector>
+
+#include "analysis/mc/unroll.hh"
+
+namespace flexi
+{
+
+struct McProperty
+{
+    enum class Kind
+    {
+        NetAssert,
+        BusBound,
+        Watchdog,
+        MmuPage,
+        XFree,
+    };
+
+    Kind kind = Kind::NetAssert;
+    /** Normalized spec string; names the property in reports. */
+    std::string spec;
+
+    std::string net;       ///< NetAssert
+    bool value = false;    ///< NetAssert
+    std::string bus;       ///< BusBound
+    unsigned width = 0;    ///< BusBound
+    uint64_t limit = 0;    ///< BusBound
+    unsigned param = 1;    ///< Watchdog N / XFree depth
+
+    /** Consecutive frames one instance of the property spans. */
+    unsigned window() const
+    {
+        return kind == Kind::Watchdog ? param + 2 : 1;
+    }
+};
+
+/**
+ * Parse one spec. Returns false with a one-line reason in @p err
+ * (when given) on a malformed spec.
+ */
+bool parsePropertySpec(const std::string &spec, McProperty &out,
+                       std::string *err = nullptr);
+
+/**
+ * The default catalog for a model: watchdog and mmu-page when the
+ * model is ROM-closed (they are program properties), plus xfree.
+ */
+std::vector<McProperty> defaultProperties(const McModel &model);
+
+/**
+ * Check a property is well-formed against a netlist and model
+ * (names resolve, the model is closed when required) and resolve
+ * model-derived parameters (mmu-page's limit becomes the page-0
+ * fill in PC units). Returns an empty string when valid, else the
+ * reason.
+ */
+std::string validateProperty(const Netlist &nl, const McModel &model,
+                             McProperty &p);
+
+/**
+ * The literal "property holds at step t". Frames t .. t+window()-1
+ * must already exist in @p u.
+ */
+SatLit propertyLit(CnfBuilder &cnf, const Unrolling &u,
+                   const McProperty &p, unsigned t);
+
+/**
+ * Concrete (simulation) counterpart of propertyLit: @p pc holds the
+ * sampled PC bus per frame, @p bits the sampled assert-net / bound-
+ * bus value per frame. Evaluates the property instance at @p t.
+ */
+bool propertyHoldsConcrete(const McProperty &p,
+                           const std::vector<unsigned> &pc,
+                           const std::vector<unsigned> &bits,
+                           unsigned t);
+
+} // namespace flexi
+
+#endif // FLEXI_ANALYSIS_MC_PROPERTY_HH

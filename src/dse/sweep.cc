@@ -1,6 +1,9 @@
 #include "sweep.hh"
 
 #include "analysis/dataflow/struct_hash.hh"
+#include "analysis/mc/bmc.hh"
+#include "analysis/mc/property.hh"
+#include "common/logging.hh"
 #include "common/thread_pool.hh"
 #include "dse/area_model.hh"
 #include "dse/code_size.hh"
@@ -103,6 +106,61 @@ runSweep(const SweepConfig &cfg)
     SweepResult result;
     double base_area = baseCoreArea();
 
+    // Sequential property gate, next to the static timing gate: the
+    // base core netlist behind each operand model must satisfy
+    // every configured property. The verdict depends only on the
+    // operand model, so it is computed once and shared by every
+    // point that uses that core. Empty verdict = all properties
+    // hold (or none configured).
+    std::map<OperandModel, std::string> prop_verdicts;
+    auto propertyFailure =
+        [&](OperandModel om) -> const std::string & {
+        auto it = prop_verdicts.find(om);
+        if (it != prop_verdicts.end())
+            return it->second;
+        std::string fail;
+        auto nl = om == OperandModel::LoadStore
+                      ? buildLoadStore4Netlist()
+                      : buildExtAcc4Netlist();
+        McModel model;
+        for (const std::string &spec : cfg.properties) {
+            McProperty p;
+            std::string err;
+            if (!parsePropertySpec(spec, p, &err)) {
+                fail = strfmt("'%s': %s", spec.c_str(),
+                              err.c_str());
+                break;
+            }
+            std::string invalid = validateProperty(*nl, model, p);
+            if (!invalid.empty()) {
+                fail = strfmt("'%s': %s", spec.c_str(),
+                              invalid.c_str());
+                break;
+            }
+            if (p.kind == McProperty::Kind::XFree) {
+                SeqResetCoverageResult cov =
+                    seqResetCoverage(*nl, model, p.param);
+                if (!cov.ok) {
+                    fail = strfmt("'%s': %s", spec.c_str(),
+                                  cov.detail.c_str());
+                    break;
+                }
+                continue;
+            }
+            McResult r = checkInduction(*nl, model, p,
+                                        cfg.propertyDepth);
+            if (r.status == McStatus::Unknown)
+                r = checkBmc(*nl, model, p, cfg.propertyDepth);
+            if (r.status == McStatus::Falsified ||
+                r.status == McStatus::Invalid) {
+                fail = r.detail;
+                break;
+            }
+        }
+        return prop_verdicts.emplace(om, std::move(fail))
+            .first->second;
+    };
+
     // Enumerate feasible points in a fixed order (the result order
     // and the per-point work are both independent of threading).
     std::vector<SweepCandidate> all;
@@ -127,8 +185,20 @@ runSweep(const SweepConfig &cfg)
                 StaticTimingCheck timing = checkDesignPointTiming(
                     c.point, cfg.vddOperating);
                 if (!timing.feasible) {
-                    result.rejected.push_back({c.point, timing});
+                    result.rejected.push_back(
+                        {c.point, timing, {}});
                     continue;
+                }
+                // Property gate: a falsified sequential property on
+                // the point's base core rejects it unsimulated,
+                // exactly like a missed clock period.
+                if (!cfg.properties.empty()) {
+                    const std::string &pf = propertyFailure(om);
+                    if (!pf.empty()) {
+                        result.rejected.push_back(
+                            {c.point, StaticTimingCheck{}, pf});
+                        continue;
+                    }
                 }
                 all.push_back(c);
             }

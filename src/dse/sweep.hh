@@ -92,17 +92,32 @@ struct SweepConfig
      * are simulated, never their metrics.
      */
     SweepCache *cache = nullptr;
+    /**
+     * Sequential properties (the flexilint --prop grammar) every
+     * point's base core netlist must satisfy, checked by
+     * k-induction with a BMC fallback before any simulation. A
+     * falsified or inapplicable property rejects the point next to
+     * the static timing gate. Like vddOperating, the list is not
+     * part of the cache key: it gates which points are simulated,
+     * never their metrics.
+     */
+    std::vector<std::string> properties;
+    /** Induction k / BMC bound for the property gate. */
+    unsigned propertyDepth = 4;
 };
 
 /** Cache key of one design point under one configuration. */
 uint64_t sweepPointKey(const DesignPoint &point,
                        const SweepConfig &cfg);
 
-/** A design point the static timing gate refused to simulate. */
+/** A design point a pre-simulation gate refused to simulate. */
 struct RejectedPoint
 {
     DesignPoint point;
     StaticTimingCheck timing;
+    /** Set when the property gate rejected the point: the failing
+     *  spec's verdict. Empty for static-timing rejections. */
+    std::string property;
 };
 
 /** Evaluated candidates plus the statically rejected points. */

@@ -1,0 +1,7 @@
+; Deliberately broken FlexiCore4 fixture: the branch target lies far
+; outside the assembled image, so the PC escapes the page three
+; cycles after power-on. BMC must falsify mmu-page on this program
+; with a replayable multi-cycle counterexample (guard cycle, branch
+; cycle, escape cycle).
+nandi 0         ; ACC = 0xF: force the branch condition
+br 0x40         ; taken branch to empty program memory

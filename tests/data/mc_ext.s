@@ -1,0 +1,8 @@
+; ExtAcc4 model-checking fixture. br.nzp is unconditional, so the
+; self-branch needs no condition guard; the leading AND keeps the
+; image from being a single instruction (the checker should prove
+; the invariant across a real fall-through, not a trivial one).
+; The two-byte branch encoding is the interesting part here: the
+; induction has to rule out PCs resting mid-instruction.
+andi 0
+done: br.nzp done

@@ -1,0 +1,9 @@
+; FlexiCore4 model-checking fixture: emit one nibble, then halt on a
+; taken self-branch. The NAND immediately before the final branch
+; forces ACC negative, which is what makes the page invariant
+; k-inductive (the fall-through at the last image address is
+; unreachable once the branch condition is pinned).
+nandi 0         ; ACC = ~(ACC & 0) = 0xF (negative)
+store r1        ; write the output port
+nandi 0         ; re-force the branch condition
+done: br done   ; taken branch to itself = halt

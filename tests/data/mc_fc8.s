@@ -1,0 +1,8 @@
+; FlexiCore8 model-checking fixture — same shape as mc_fc4.s on the
+; 8-bit datapath: guard NAND forces ACC = 0xFF (negative), so the
+; final self-branch always retakes and the PC never walks past the
+; image (mmu-page closes at k=3 on this core).
+nandi 0
+store r1
+nandi 0
+done: br done

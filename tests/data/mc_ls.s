@@ -1,0 +1,7 @@
+; LoadStore4 model-checking fixture: one register move, then an
+; unconditional self-branch. The PC counts 16-bit words on this
+; core, so the unroller's ROM closure fetches instruction bytes at
+; pc*2 — this fixture pins that addressing down (mmu-page closes at
+; k=1).
+mov r2, r0
+done: br.nzp done

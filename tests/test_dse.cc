@@ -533,5 +533,49 @@ TEST(Sweep, LowVoltageStaticallyRejectsSlowPoints)
                              r.point.features.tag());
 }
 
+TEST(Sweep, PropertyGateRejectsFalsifiedPoints)
+{
+    // bound:pc/7/1 demands the PC never leave 0 — false on every
+    // core the moment an instruction retires, so the property gate
+    // must reject every point before simulation, next to (and
+    // distinguishable from) the timing gate.
+    SweepConfig cfg;
+    cfg.workUnits = 2;
+    cfg.threads = 1;
+    cfg.properties = {"bound:pc/7/1"};
+    cfg.propertyDepth = 3;
+    SweepResult result = runSweep(cfg);
+    EXPECT_TRUE(result.candidates.empty());
+    ASSERT_FALSE(result.rejected.empty());
+    for (const auto &r : result.rejected) {
+        EXPECT_FALSE(r.property.empty()) << r.point.name();
+        EXPECT_NE(r.property.find("bound:pc/7/1"), std::string::npos)
+            << r.property;
+    }
+}
+
+TEST(Sweep, PropertyGatePassesProvablePoints)
+{
+    // A 7-bit PC is always below 128: k-induction closes at k=1 and
+    // the sweep runs exactly as if no property were configured.
+    SweepConfig cfg;
+    cfg.workUnits = 2;
+    cfg.threads = 1;
+    cfg.properties = {"bound:pc/7/128"};
+    cfg.propertyDepth = 2;
+    SweepResult gated = runSweep(cfg);
+    EXPECT_TRUE(gated.rejected.empty());
+
+    cfg.properties.clear();
+    SweepResult plain = runSweep(cfg);
+    ASSERT_EQ(gated.candidates.size(), plain.candidates.size());
+    for (size_t i = 0; i < plain.candidates.size(); ++i) {
+        EXPECT_EQ(gated.candidates[i].point.name(),
+                  plain.candidates[i].point.name());
+        EXPECT_DOUBLE_EQ(gated.candidates[i].energyRel,
+                         plain.candidates[i].energyRel);
+    }
+}
+
 } // namespace
 } // namespace flexi

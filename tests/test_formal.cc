@@ -92,6 +92,115 @@ TEST(Sat, AssumptionsDoNotPoisonLaterSolves)
     EXPECT_TRUE(s.modelValue(b));
 }
 
+TEST(Sat, ContradictoryAssumptionsRejectedCleanly)
+{
+    // {a, ~a} in one assumption list is Unsat on its face; the
+    // solver must notice when placing the second pseudo-decision
+    // and must not mark the formula itself unsatisfiable.
+    SatSolver s;
+    SatVar a = s.newVar();
+    SatVar b = s.newVar();
+    ASSERT_TRUE(s.addClause({SatLit::make(a), SatLit::make(b)}));
+    EXPECT_EQ(s.solve({SatLit::make(a), SatLit::make(a, true)}),
+              Result::Unsat);
+    EXPECT_EQ(s.solve(), Result::Sat);
+    EXPECT_EQ(s.solve({SatLit::make(a)}), Result::Sat);
+    EXPECT_TRUE(s.modelValue(a));
+}
+
+/** Pigeonhole instance with every clause guarded by ~sel, so the
+ *  contradiction only activates under the `sel` assumption. */
+void
+addGuardedPigeonhole(SatSolver &s, int pigeons, int holes,
+                     SatLit sel)
+{
+    std::vector<std::vector<SatLit>> p(pigeons);
+    for (auto &pigeon : p)
+        for (int h = 0; h < holes; ++h)
+            pigeon.push_back(SatLit::make(s.newVar()));
+    for (auto &pigeon : p) {
+        std::vector<SatLit> cl = pigeon;
+        cl.push_back(~sel);
+        ASSERT_TRUE(s.addClause(cl));
+    }
+    for (int h = 0; h < holes; ++h)
+        for (int i = 0; i < pigeons; ++i)
+            for (int j = i + 1; j < pigeons; ++j)
+                ASSERT_TRUE(
+                    s.addClause({~p[i][h], ~p[j][h], ~sel}));
+}
+
+TEST(Sat, IncrementalAssumptionReuseKeepsLearnedClauses)
+{
+    // The miter loop solves the same CNF under one activation
+    // assumption per query. Clauses learned refuting the first
+    // query must carry over: re-solving under the same assumption
+    // may not redo the full search.
+    SatSolver s;
+    SatLit sel = SatLit::make(s.newVar());
+    addGuardedPigeonhole(s, 4, 3, sel);
+
+    ASSERT_EQ(s.solve({sel}), Result::Unsat);
+    uint64_t first = s.stats().conflicts;
+    EXPECT_GT(first, 0u);
+
+    ASSERT_EQ(s.solve({sel}), Result::Unsat);
+    uint64_t extra = s.stats().conflicts - first;
+    EXPECT_LT(extra, first);
+
+    // Deactivated, the instance is satisfiable — the learned
+    // clauses (all implied) must not over-constrain it.
+    EXPECT_EQ(s.solve({~sel}), Result::Sat);
+    EXPECT_EQ(s.solve(), Result::Sat);
+}
+
+TEST(Sat, RestartPathIsExercised)
+{
+    // A pigeonhole instance big enough to outlive the first Luby
+    // budget: the Unsat proof must survive restarts (and the
+    // learned clauses that persist across them).
+    SatSolver s;
+    SatLit p[7][6];
+    for (auto &pigeon : p)
+        for (auto &lit : pigeon)
+            lit = SatLit::make(s.newVar());
+    for (auto &pigeon : p) {
+        std::vector<SatLit> cl(pigeon, pigeon + 6);
+        ASSERT_TRUE(s.addClause(cl));
+    }
+    for (int h = 0; h < 6; ++h)
+        for (int i = 0; i < 7; ++i)
+            for (int j = i + 1; j < 7; ++j)
+                ASSERT_TRUE(s.addClause({~p[i][h], ~p[j][h]}));
+    EXPECT_EQ(s.solve(), Result::Unsat);
+    EXPECT_GT(s.stats().restarts, 0u);
+    EXPECT_GT(s.stats().conflicts, 100u);
+}
+
+TEST(Sat, TriviallyTrueCnf)
+{
+    // No clauses at all: every assignment is a model.
+    SatSolver empty;
+    empty.newVar();
+    EXPECT_EQ(empty.solve(), Result::Sat);
+
+    // Tautologies and root-satisfied clauses are absorbed without
+    // being stored; the formula stays equivalent to the remaining
+    // unit.
+    SatSolver s;
+    SatVar x = s.newVar();
+    SatVar y = s.newVar();
+    ASSERT_TRUE(s.addClause({SatLit::make(x), SatLit::make(x, true)}));
+    ASSERT_TRUE(s.addClause({SatLit::make(y)}));
+    ASSERT_TRUE(s.addClause({SatLit::make(y), SatLit::make(x)}));
+    ASSERT_TRUE(s.addClause({SatLit::make(y), SatLit::make(y)}));
+    EXPECT_EQ(s.solve(), Result::Sat);
+    EXPECT_TRUE(s.modelValue(y));
+    EXPECT_EQ(s.solve({SatLit::make(x, true)}), Result::Sat);
+    EXPECT_FALSE(s.modelValue(x));
+    EXPECT_TRUE(s.modelValue(y));
+}
+
 /** xorshift PRNG so the differential test is reproducible. */
 uint32_t
 nextRand(uint32_t &state)

@@ -22,15 +22,40 @@
  *                   constant-output)
  *   --prune         SAT-certified prune of each netlist subject;
  *                   reports removed logic and the certification
+ *   --seq-prune     sequential prune (BMC/induction-certified merge
+ *                   of state-correlated logic the ternary engine
+ *                   cannot see) of each netlist subject; reports
+ *                   the improvement over --prune's baseline
  *   --hash          canonical structural hash of each netlist
  *                   subject (the DSE sweep's cache key)
+ *   --bmc <K>       bounded model checking to depth K on each
+ *                   netlist subject (property catalog below)
+ *   --induct <K>    k-induction proof attempt up to k = K, with BMC
+ *                   fallback for falsification
+ *   --prop <spec>   property to check (repeatable; see
+ *                   src/analysis/mc/property.hh for the grammar:
+ *                   assert:<net>=<0|1>, bound:<bus>/<w>/<limit>,
+ *                   watchdog[:N], mmu-page, xfree[:K]). Without
+ *                   --prop, the default catalog runs.
+ *   --mc-program <isa> <file.s>
+ *                   close the sequential model over this program
+ *                   for matching netlist subjects (enables the
+ *                   watchdog / mmu-page properties)
+ *   --trace-vcd <path>
+ *                   dump the first confirmed counterexample trace
+ *                   as a VCD file
  *   --vdd <volts>   supply for --timing slack (default nominal 4.5)
  *   --paths <k>     top-K critical paths for --timing (default 8)
  *   --suppress <rule[,rule...]>
  *                   drop findings for the named rules before
  *                   rendering and before the exit-code count
  *
- * Exit code: 0 clean, 1 findings at error severity, 2 usage error.
+ * Exit codes (pinned; tests/CMakeLists.txt asserts them end to
+ * end): 0 = clean (notes/warnings allowed unless --werror), 1 =
+ * findings at error severity (or warnings under --werror) — this
+ * includes falsified properties (prop-cex) and failed prune
+ * certifications, 2 = usage error (unknown flag, malformed
+ * --prop spec, unreadable file, assembly failure).
  */
 
 #include <cstdio>
@@ -45,6 +70,9 @@
 #include "analysis/dataflow/prune.hh"
 #include "analysis/dataflow/struct_hash.hh"
 #include "analysis/equiv.hh"
+#include "analysis/mc/mc_lint.hh"
+#include "analysis/mc/property.hh"
+#include "analysis/mc/seq_prune.hh"
 #include "analysis/netlist_lint.hh"
 #include "analysis/program_lint.hh"
 #include "analysis/timing.hh"
@@ -102,13 +130,19 @@ usage()
 {
     std::fprintf(stderr,
         "usage: flexilint [--json] [--werror] [--equiv] [--timing]\n"
-        "                 [--dataflow] [--prune] [--hash]\n"
+        "                 [--dataflow] [--prune] [--seq-prune]\n"
+        "                 [--hash] [--bmc <K>] [--induct <K>]\n"
+        "                 [--prop <spec>]...\n"
+        "                 [--mc-program fc4|fc8|ext|ls <file.s>]...\n"
+        "                 [--trace-vcd <path>]\n"
         "                 [--vdd <volts>] [--paths <k>]\n"
         "                 [--suppress <rule[,rule...]>]\n"
         "                 [--netlist fc4|fc8|ext|ls]...\n"
         "                 [--program fc4|fc8|ext|ls <file.s>]...\n"
         "                 [--kernels]\n"
-        "with no subjects, lints all netlists and all kernels\n");
+        "with no subjects, lints all netlists and all kernels\n"
+        "exit codes: 0 clean, 1 errors (or warnings under\n"
+        "--werror), 2 usage error\n");
     return 2;
 }
 
@@ -168,7 +202,13 @@ main(int argc, char **argv)
     bool timing = false;
     bool dataflow = false;
     bool do_prune = false;
+    bool do_seq_prune = false;
     bool do_hash = false;
+    unsigned bmc_depth = 0;
+    unsigned induct_depth = 0;
+    std::vector<std::string> prop_specs;
+    std::vector<std::pair<IsaKind, std::string>> mc_programs;
+    std::string vcd_path;
     double vdd = kVddNominal;
     size_t top_paths = 8;
     std::vector<std::string> suppressed;
@@ -191,8 +231,48 @@ main(int argc, char **argv)
             dataflow = true;
         } else if (arg == "--prune") {
             do_prune = true;
+        } else if (arg == "--seq-prune") {
+            do_seq_prune = true;
         } else if (arg == "--hash") {
             do_hash = true;
+        } else if (arg == "--bmc") {
+            if (++i >= argc)
+                return usage();
+            bmc_depth = static_cast<unsigned>(std::atoi(argv[i]));
+            if (bmc_depth == 0)
+                return usage();
+        } else if (arg == "--induct") {
+            if (++i >= argc)
+                return usage();
+            induct_depth =
+                static_cast<unsigned>(std::atoi(argv[i]));
+            if (induct_depth == 0)
+                return usage();
+        } else if (arg == "--prop") {
+            if (++i >= argc)
+                return usage();
+            // Malformed specs are usage errors, caught before any
+            // solving starts; netlist-dependent validation (names
+            // resolve, model is closed) stays a prop-invalid
+            // diagnostic per subject.
+            McProperty parsed;
+            std::string err;
+            if (!parsePropertySpec(argv[i], parsed, &err)) {
+                std::fprintf(stderr, "flexilint: bad --prop %s: %s\n",
+                             argv[i], err.c_str());
+                return usage();
+            }
+            prop_specs.push_back(argv[i]);
+        } else if (arg == "--mc-program") {
+            IsaKind isa;
+            if (i + 2 >= argc || !parseIsa(argv[i + 1], isa))
+                return usage();
+            mc_programs.emplace_back(isa, argv[i + 2]);
+            i += 2;
+        } else if (arg == "--trace-vcd") {
+            if (++i >= argc)
+                return usage();
+            vcd_path = argv[i];
         } else if (arg == "--vdd") {
             if (++i >= argc)
                 return usage();
@@ -232,6 +312,10 @@ main(int argc, char **argv)
             netlists.push_back(a.isa);
         kernels = true;
     }
+
+    bool model_check =
+        bmc_depth > 0 || induct_depth > 0 || !prop_specs.empty();
+    bool vcd_written = false;
 
     std::vector<Result> results;
 
@@ -300,6 +384,87 @@ main(int argc, char **argv)
                                         : pr.certification.detail;
                     }
                     report.add(std::move(c));
+                }
+            }
+            if (do_seq_prune) {
+                SeqPruneResult sp = seqPrune(*nl);
+                if (!sp.ok) {
+                    Diagnostic d;
+                    d.severity = Severity::Error;
+                    d.rule = "seq-prune-failed";
+                    d.module = "mc";
+                    d.message = sp.detail;
+                    report.add(std::move(d));
+                } else {
+                    Diagnostic d;
+                    d.severity = Severity::Note;
+                    d.rule = "seq-prune-summary";
+                    d.module = "mc";
+                    d.message = strfmt(
+                        "%zu -> %zu cells (ternary prune alone "
+                        "%zu), %zu -> %zu state bits, %.1f NAND2-"
+                        "equivalents saved (%.1f beyond ternary: "
+                        "%zu merged drivers, %zu INV rewrites, "
+                        "%zu const DFFs, %zu pair DFFs)",
+                        sp.stats.cellsBefore, sp.stats.cellsAfter,
+                        sp.baseline.cellsAfter,
+                        sp.stats.dffsBefore, sp.stats.dffsAfter,
+                        sp.stats.nand2AreaSaved(),
+                        sp.stats.nand2AreaSaved() -
+                            sp.baseline.nand2AreaSaved(),
+                        sp.seq.mergedNets, sp.seq.invDrivers,
+                        sp.seq.constDffs, sp.seq.pairDffs);
+                    report.add(std::move(d));
+                    Diagnostic c;
+                    c.module = "mc";
+                    if (sp.certified) {
+                        c.severity = Severity::Note;
+                        c.rule = "seq-prune-certified";
+                        c.message = strfmt(
+                            "SAT-certified: invariants proved by "
+                            "induction, observable cones "
+                            "equivalent (%zu solver calls)",
+                            static_cast<size_t>(
+                                sp.certification.solves));
+                    } else {
+                        c.severity = Severity::Error;
+                        c.rule = "seq-prune-uncertified";
+                        c.message =
+                            sp.certification.detail.empty()
+                                ? "certification failed"
+                                : sp.certification.detail;
+                    }
+                    report.add(std::move(c));
+                }
+            }
+            if (model_check) {
+                McLintOptions mo;
+                if (bmc_depth > 0)
+                    mo.bmcDepth = bmc_depth;
+                mo.inductDepth = induct_depth;
+                mo.props = prop_specs;
+                Program mc_prog(isa);
+                for (const auto &[pisa, path] : mc_programs) {
+                    if (pisa != isa)
+                        continue;
+                    std::ifstream in(path);
+                    if (!in)
+                        fatal("cannot open %s", path.c_str());
+                    std::ostringstream src;
+                    src << in.rdbuf();
+                    mc_prog = assemble(isa, src.str());
+                    mo.model.program = &mc_prog;
+                    break;
+                }
+                McLintOutcome out = mcLint(*nl, mo);
+                report.append(out.report);
+                if (!vcd_path.empty() && !vcd_written &&
+                    !out.traces.empty()) {
+                    std::ofstream vf(vcd_path);
+                    if (!vf)
+                        fatal("cannot write %s", vcd_path.c_str());
+                    vf << out.traces.front().vcd();
+                    vcd_written = true;
                 }
             }
             results.push_back({nl->name(), std::move(report)});
