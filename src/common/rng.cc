@@ -108,4 +108,25 @@ Rng::chance(double p)
     return uniform() < p;
 }
 
+uint64_t
+Rng::poisson(double mean)
+{
+    if (!(mean > 0.0))
+        return 0;
+    // Split large means additively (Poisson is closed under
+    // addition) so exp(-mean) stays representable.
+    uint64_t count = 0;
+    while (mean > 64.0) {
+        count += poisson(64.0);
+        mean -= 64.0;
+    }
+    double limit = std::exp(-mean);
+    double product = uniform();
+    while (product > limit) {
+        ++count;
+        product *= uniform();
+    }
+    return count;
+}
+
 } // namespace flexi

@@ -57,6 +57,15 @@ class Rng
     /** Bernoulli draw with probability @p p of true. */
     bool chance(double p);
 
+    /**
+     * Poisson-distributed event count with the given mean (Knuth's
+     * multiplication method, exact for the small means the fault
+     * arrival processes draw; large means are split additively so
+     * exp(-mean) never underflows). Used by the fleet lifecycle
+     * engine to draw per-epoch in-field fault counts.
+     */
+    uint64_t poisson(double mean);
+
   private:
     uint64_t state_;
     bool haveSpare_ = false;

@@ -99,6 +99,30 @@ LaneBatch::flipDff(unsigned lane, size_t index)
     dffState64_[index] ^= 1ull << lane;
 }
 
+std::vector<uint8_t>
+LaneBatch::saveDffState(unsigned lane) const
+{
+    checkLane(lane);
+    std::vector<uint8_t> state(dffState64_.size());
+    for (size_t i = 0; i < dffState64_.size(); ++i)
+        state[i] = (dffState64_[i] >> lane) & 1;
+    return state;
+}
+
+void
+LaneBatch::restoreDffState(unsigned lane,
+                           const std::vector<uint8_t> &state)
+{
+    checkLane(lane);
+    if (state.size() != dffState64_.size())
+        panic("restoreDffState: %zu bits, netlist has %zu",
+              state.size(), dffState64_.size());
+    uint64_t bit = 1ull << lane;
+    for (size_t i = 0; i < dffState64_.size(); ++i)
+        dffState64_[i] = state[i] ? dffState64_[i] | bit
+                                  : dffState64_[i] & ~bit;
+}
+
 void
 LaneBatch::reset()
 {

@@ -78,6 +78,22 @@ class LaneBatch
     void flipDff(unsigned lane, size_t index);
     ///@}
 
+    /** @name Per-lane state snapshot (mirrors Netlist exactly) */
+    ///@{
+    /**
+     * Snapshot / restore one lane's architectural state (all DFF
+     * bits) in the scalar saveDffState() layout — one byte per DFF,
+     * commit order — so a lane snapshot restores into a scalar clone
+     * and vice versa. restoreDffState() leaves the lane's
+     * combinational nets stale (drive inputs and evaluate() before
+     * sampling); faults, toggle counters, and cycle() are not part
+     * of the snapshot, exactly as in the scalar API.
+     */
+    std::vector<uint8_t> saveDffState(unsigned lane) const;
+    void restoreDffState(unsigned lane,
+                         const std::vector<uint8_t> &state);
+    ///@}
+
     /** @name Simulation */
     ///@{
     /** All lanes back to power-on state; cycle() keeps counting. */

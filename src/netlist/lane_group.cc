@@ -326,6 +326,34 @@ LaneGroup::flipDff(unsigned lane, size_t index)
         1ull << (lane % kWordLanes);
 }
 
+std::vector<uint8_t>
+LaneGroup::saveDffState(unsigned lane) const
+{
+    checkLane(lane);
+    size_t word = lane / kWordLanes;
+    unsigned bit = lane % kWordLanes;
+    std::vector<uint8_t> state(s_->dffCells.size());
+    for (size_t i = 0; i < state.size(); ++i)
+        state[i] = (dffState_[i * words_ + word] >> bit) & 1;
+    return state;
+}
+
+void
+LaneGroup::restoreDffState(unsigned lane,
+                           const std::vector<uint8_t> &state)
+{
+    checkLane(lane);
+    if (state.size() != s_->dffCells.size())
+        panic("restoreDffState: %zu bits, netlist has %zu",
+              state.size(), s_->dffCells.size());
+    size_t word = lane / kWordLanes;
+    uint64_t bit = 1ull << (lane % kWordLanes);
+    for (size_t i = 0; i < state.size(); ++i) {
+        uint64_t &v = dffState_[i * words_ + word];
+        v = state[i] ? v | bit : v & ~bit;
+    }
+}
+
 void
 LaneGroup::reset()
 {

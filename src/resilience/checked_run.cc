@@ -136,6 +136,7 @@ class CheckedRunner
         res_.goldenOutputs = env_.outputs;
         res_.outputsCorrect = res_.outcome == CheckedOutcome::Completed &&
                               dieOut_ == env_.outputs;
+        res_.endDff = die_.saveDffState();
         return res_;
     }
 
@@ -466,7 +467,10 @@ PrescreenResult
 prescreenSchedules(const Netlist &golden_netlist, const Program &prog,
                    const std::vector<uint8_t> &inputs,
                    const CheckedRunConfig &cfg,
-                   const std::vector<const FaultSchedule *> &schedules)
+                   const std::vector<const FaultSchedule *> &schedules,
+                   const std::vector<const std::vector<StuckFault> *>
+                       *laneFaults,
+                   bool captureEndState)
 {
     // One bit-parallel mirror of CheckedRunner::stepInstruction()
     // with all protection stripped: flips before each fetch, per-lane
@@ -505,9 +509,16 @@ prescreenSchedules(const Netlist &golden_netlist, const Program &prog,
                              ? cfg.maxCycles
                              : cfg.maxInstructions * 8 + 1024;
 
+    if (laneFaults && laneFaults->size() != schedules.size())
+        fatal("prescreenSchedules: %zu fault lists for %zu lanes",
+              laneFaults->size(), schedules.size());
+
     size_t numDffs = batch.numDffs();
     std::vector<std::vector<FaultSchedule::DffFlip>> flips(lanes);
     for (unsigned lane = 0; lane < lanes; ++lane) {
+        if (laneFaults && (*laneFaults)[lane])
+            for (const StuckFault &f : *(*laneFaults)[lane])
+                batch.injectFault(lane, f);
         for (const auto &t : schedules[lane]->transients)
             batch.injectTransient(lane, t);
         flips[lane] = schedules[lane]->flips;
@@ -680,8 +691,14 @@ prescreenSchedules(const Netlist &golden_netlist, const Program &prog,
             active[w] &= ~(pcDiff[w] | opDiff[w]);
     }
 
-    if (res.completed)
+    if (res.completed) {
         res.cleanMask = active;
+        if (captureEndState) {
+            res.endDff.resize(lanes);
+            for (unsigned lane = 0; lane < lanes; ++lane)
+                res.endDff[lane] = batch.saveDffState(lane);
+        }
+    }
     return res;
 }
 

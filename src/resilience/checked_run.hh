@@ -99,6 +99,14 @@ struct CheckedRunResult
 
     std::vector<uint8_t> dieOutputs;
     std::vector<uint8_t> goldenOutputs;
+
+    /**
+     * The die's architectural DFF state when the run ended (the
+     * state the part powers down with), in saveDffState() layout.
+     * The fleet lifecycle engine snapshots it into its per-die
+     * records and checkpoint files.
+     */
+    std::vector<uint8_t> endDff;
 };
 
 /** A schedule of in-field fault events to apply while running. */
@@ -173,6 +181,14 @@ struct PrescreenResult
     /** Golden run reached done() within the instruction/cycle
      *  budgets (false means every lane must be re-run). */
     bool completed = false;
+    /**
+     * Per-lane end-of-run DFF state in saveDffState() layout, only
+     * filled when the prescreen was asked to capture end state and
+     * completed. Meaningful for clean lanes (bit-identical to the
+     * scalar runChecked endDff); dirty lanes' entries are whatever
+     * the unprotected pass left behind and must not be consumed.
+     */
+    std::vector<std::vector<uint8_t>> endDff;
 };
 
 /**
@@ -192,12 +208,23 @@ struct PrescreenResult
  * output CRC streams are identical at every checkpoint, and lanes
  * whose PC freezes past an armed watchdog are retired to the scalar
  * path.
+ *
+ * @p laneFaults optionally installs per-lane stuck-at faults (null
+ * entries allowed) before the pass — the fleet engine packs salvaged
+ * dies, whose manufacturing defects ride alongside the in-field
+ * schedule, into the same word. The soundness argument is unchanged:
+ * a lane is clean only if its pads tracked golden at every boundary,
+ * defects and all. @p captureEndState additionally snapshots every
+ * lane's end-of-run DFF state into PrescreenResult::endDff.
  */
 PrescreenResult
 prescreenSchedules(const Netlist &golden, const Program &prog,
                    const std::vector<uint8_t> &inputs,
                    const CheckedRunConfig &cfg,
-                   const std::vector<const FaultSchedule *> &schedules);
+                   const std::vector<const FaultSchedule *> &schedules,
+                   const std::vector<const std::vector<StuckFault> *>
+                       *laneFaults = nullptr,
+                   bool captureEndState = false);
 
 /** Incremental CRC-8 (poly 0x07) used by the output detector. */
 uint8_t crc8(uint8_t crc, uint8_t byte);

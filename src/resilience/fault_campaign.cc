@@ -102,8 +102,11 @@ makeSchedule(const CampaignConfig &cfg, const Netlist &golden,
     return {FaultKind::TimingGlitch, sched};
 }
 
+} // namespace
+
 FaultOutcome
-classify(const CheckedRunResult &run, const CampaignConfig &cfg)
+classifyCheckedRun(const CheckedRunResult &run,
+                   const DetectorConfig &detectors)
 {
     bool detected = run.detections > 0;
     bool acted = run.retries > 0 || run.restarts > 0;
@@ -123,11 +126,9 @@ classify(const CheckedRunResult &run, const CampaignConfig &cfg)
     }
     if (detected)
         return FaultOutcome::Detected;
-    bool hung = run.maxPcFrozenCycles > cfg.detectors.watchdogCycles;
+    bool hung = run.maxPcFrozenCycles > detectors.watchdogCycles;
     return hung ? FaultOutcome::Hang : FaultOutcome::Sdc;
 }
-
-} // namespace
 
 const char *
 faultKindName(FaultKind kind)
@@ -275,7 +276,7 @@ runFaultCampaign(const CampaignConfig &config)
 
         InjectionResult &inj = result.injections[i];
         inj.kind = sched[i].first;
-        inj.outcome = classify(run, config);
+        inj.outcome = classifyCheckedRun(run, config.detectors);
         inj.runOutcome = run.outcome;
         inj.outputsCorrect = run.outputsCorrect;
         inj.detections = run.detections;

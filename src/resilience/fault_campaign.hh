@@ -74,6 +74,18 @@ constexpr size_t kNumFaultOutcomes =
 
 const char *faultOutcomeName(FaultOutcome outcome);
 
+/**
+ * Map one checked run to its campaign classification. Degraded runs
+ * are Detected (fail-stop is loud), exhausted budgets are Hang unless
+ * a detector fired first, correct-output completions split Masked /
+ * Recovered / Detected on whether recovery had to act, and silent
+ * wrong output is Sdc — or Hang if the PC froze past the (possibly
+ * disarmed) watchdog's trip point. Shared by the injection campaigns
+ * and the fleet lifecycle engine.
+ */
+FaultOutcome classifyCheckedRun(const CheckedRunResult &run,
+                                const DetectorConfig &detectors);
+
 /** Result of one injection. */
 struct InjectionResult
 {

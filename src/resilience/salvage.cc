@@ -158,15 +158,9 @@ runSalvageStudy(const SalvageConfig &config)
             return;
         }
 
-        // Timing-marginal dies glitch at a rate proportional to the
-        // error count the probe model expects at this supply.
-        double expected = model.expectedTimingErrors(
-            die.sample, config.vdd,
-            config.study.testCycles ? config.study.testCycles : 1);
-        double glitchRate =
-            expected /
-            static_cast<double>(config.study.testCycles
-                                    ? config.study.testCycles : 1);
+        // Timing-marginal dies glitch at the per-cycle rate the
+        // probe model expects at this supply.
+        double glitchRate = model.glitchRate(die.sample, config.vdd);
 
         for (size_t k = 0; k < suite.size(); ++k) {
             const SalvageWorkload &w = suite[k];

@@ -103,4 +103,10 @@ DieModel::expectedTimingErrors(const DieSample &die, double vdd,
     return shortfall * 0.3 * static_cast<double>(cycles);
 }
 
+double
+DieModel::glitchRate(const DieSample &die, double vdd) const
+{
+    return expectedTimingErrors(die, vdd, 1);
+}
+
 } // namespace flexi

@@ -108,6 +108,15 @@ class DieModel
     double expectedTimingErrors(const DieSample &die, double vdd,
                                 uint64_t cycles) const;
 
+    /**
+     * Per-cycle intermittent upset probability of a timing-marginal
+     * die at @p vdd — expectedTimingErrors() normalized to one
+     * cycle. Salvage binning and the fleet lifecycle engine both
+     * draw per-kernel / per-epoch glitch schedules at this rate; 0
+     * for dies that meet timing.
+     */
+    double glitchRate(const DieSample &die, double vdd) const;
+
   private:
     DesignSpec spec_;
     DieModelParams params_;

@@ -148,6 +148,34 @@ TEST(Rng, ChanceProbability)
     EXPECT_NEAR(hits / 10000.0, 0.3, 0.03);
 }
 
+TEST(Rng, PoissonMomentsAndDeterminism)
+{
+    // Same seed, same draws — the fleet engine's counter-keyed fault
+    // streams depend on this.
+    Rng a(7), b(7);
+    for (int i = 0; i < 256; ++i)
+        EXPECT_EQ(a.poisson(0.4), b.poisson(0.4));
+
+    // Degenerate means draw nothing and consume no entropy beyond
+    // the guard.
+    Rng z(3);
+    EXPECT_EQ(z.poisson(0.0), 0u);
+    EXPECT_EQ(z.poisson(-1.5), 0u);
+
+    // Sample mean and variance both approach lambda (self-relative
+    // tolerance — never pin absolute draw values, libm exp() may
+    // differ across platforms).
+    for (double mean : {0.25, 2.0, 100.0}) {
+        Rng rng(42);
+        RunningStat st;
+        for (int i = 0; i < 20000; ++i)
+            st.add(static_cast<double>(rng.poisson(mean)));
+        EXPECT_NEAR(st.mean(), mean, 0.05 * mean + 0.05);
+        double var = st.stddev() * st.stddev();
+        EXPECT_NEAR(var, mean, 0.15 * mean + 0.1);
+    }
+}
+
 TEST(RunningStat, Empty)
 {
     RunningStat st;

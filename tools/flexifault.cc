@@ -17,8 +17,14 @@
  * complete benchmark kernels under the detect-and-recover runtime.
  * atpg: stuck-at coverage of the wafer-test vector suite with SAT
  * triage of the escapes (test hole vs provably redundant).
+ *
+ * Exit codes follow the flexilint contract: 0 = success, 1 =
+ * runtime error (a failed baseline run), 2 = usage error (unknown
+ * command or ISA, malformed or out-of-range option value — a
+ * negative seed, --batch-lanes 0).
  */
 
+#include <cstdarg>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -34,6 +40,18 @@ using namespace flexi;
 namespace
 {
 
+/** Usage errors exit 2, per the flexilint exit-code contract. */
+[[noreturn]] void
+usageError(const char *fmt, ...)
+{
+    va_list ap;
+    va_start(ap, fmt);
+    std::vfprintf(stderr, fmt, ap);
+    std::fprintf(stderr, "\n");
+    va_end(ap);
+    std::exit(2);
+}
+
 IsaKind
 parseIsa(const char *name)
 {
@@ -45,7 +63,7 @@ parseIsa(const char *name)
         return IsaKind::ExtAcc4;
     if (!std::strcmp(name, "ls"))
         return IsaKind::LoadStore4;
-    fatal("unknown ISA '%s' (expected fc4|fc8|ext|ls)", name);
+    usageError("unknown ISA '%s' (expected fc4|fc8|ext|ls)", name);
 }
 
 struct Args
@@ -74,17 +92,25 @@ struct Args
         return false;
     }
 
+    /** Strictly numeric and non-negative, else usage error. */
     uint64_t
     number(const char *name, uint64_t fallback)
     {
         const char *v = option(name);
-        return v ? std::strtoull(v, nullptr, 0) : fallback;
+        if (!v)
+            return fallback;
+        char *end = nullptr;
+        unsigned long long n = std::strtoull(v, &end, 0);
+        if (*v == '-' || *v == '\0' || end == v || *end != '\0')
+            usageError("%s: expected a non-negative integer, got "
+                       "'%s'", name, v);
+        return n;
     }
 
     /**
      * Consume "--name <value>" as a lane count: strictly numeric,
      * at least 1, at most @p max (the compiled group maximum).
-     * Anything else is a one-line fatal error (exit 1).
+     * Anything else is a usage error (exit 2).
      */
     unsigned
     laneCount(const char *name, unsigned fallback, unsigned max)
@@ -94,9 +120,10 @@ struct Args
             return fallback;
         char *end = nullptr;
         unsigned long long n = std::strtoull(v, &end, 0);
-        if (end == v || *end != '\0' || n == 0 || n > max)
-            fatal("%s: expected a lane count in 1..%u, got '%s'",
-                  name, max, v);
+        if (*v == '-' || end == v || *end != '\0' || n == 0 ||
+            n > max)
+            usageError("%s: expected a lane count in 1..%u, got "
+                       "'%s'", name, max, v);
         return static_cast<unsigned>(n);
     }
 };
@@ -150,8 +177,13 @@ cmdSalvage(Args &args)
     cfg.threads = static_cast<unsigned>(args.number("--threads", 0));
     cfg.minKernels =
         static_cast<unsigned>(args.number("--min-kernels", 1));
-    if (const char *vdd = args.option("--vdd"))
-        cfg.vdd = std::strtod(vdd, nullptr);
+    if (const char *vdd = args.option("--vdd")) {
+        char *end = nullptr;
+        cfg.vdd = std::strtod(vdd, &end);
+        if (end == vdd || *end != '\0' || cfg.vdd <= 0)
+            usageError("--vdd: expected a positive voltage, got "
+                       "'%s'", vdd);
+    }
 
     SalvageReport rep = runSalvageStudy(cfg);
     std::printf("%s wafer, seed %llu, binned at %.1f V (inclusion "

@@ -15,8 +15,14 @@
  * instead of spinning against the (huge) instruction budget. Tests
  * and scripts driving flexisim on untrusted programs should always
  * pass it.
+ *
+ * Exit codes follow the flexilint contract, plus the watchdog: 0 =
+ * ran to completion, 1 = runtime error (assembly errors), 2 = usage
+ * error (unknown ISA, malformed option or input value, unreadable
+ * source file), 3 = cycle-watchdog timeout.
  */
 
+#include <cstdarg>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -31,6 +37,18 @@ using namespace flexi;
 
 namespace
 {
+
+/** Usage errors exit 2, per the flexilint exit-code contract. */
+[[noreturn]] void
+usageError(const char *fmt, ...)
+{
+    va_list ap;
+    va_start(ap, fmt);
+    std::vfprintf(stderr, fmt, ap);
+    std::fprintf(stderr, "\n");
+    va_end(ap);
+    std::exit(2);
+}
 
 std::unique_ptr<FlexiChip>
 makeChip(const char *name)
@@ -48,7 +66,20 @@ makeChip(const char *name)
         p.operands = OperandModel::LoadStore;
         return std::make_unique<FlexiChip>(p);
     }
-    fatal("unknown ISA '%s' (expected fc4|fc8|ext|ls)", name);
+    usageError("unknown ISA '%s' (expected fc4|fc8|ext|ls)", name);
+}
+
+/** Strict unsigned argument value: all-numeric, in [0, max]. */
+uint64_t
+parseNumber(const char *what, const char *v, uint64_t max)
+{
+    char *end = nullptr;
+    unsigned long long n = std::strtoull(v, &end, 0);
+    if (*v == '-' || *v == '\0' || end == v || *end != '\0' ||
+        n > max)
+        usageError("%s: expected an integer in 0..%llu, got '%s'",
+                   what, (unsigned long long)max, v);
+    return n;
 }
 
 } // namespace
@@ -64,7 +95,8 @@ main(int argc, char **argv)
             trace = true;
         } else if (!std::strcmp(argv[base], "--max-cycles") &&
                    base + 1 < argc) {
-            max_cycles = std::strtoull(argv[++base], nullptr, 0);
+            max_cycles = parseNumber("--max-cycles", argv[++base],
+                                     UINT64_MAX);
         } else {
             break;
         }
@@ -80,7 +112,7 @@ main(int argc, char **argv)
         auto chip = makeChip(argv[base]);
         std::ifstream in(argv[base + 1]);
         if (!in)
-            fatal("cannot open '%s'", argv[base + 1]);
+            usageError("cannot open '%s'", argv[base + 1]);
         std::ostringstream src;
         src << in.rdbuf();
         chip->loadProgram(src.str());
@@ -94,7 +126,7 @@ main(int argc, char **argv)
 
         for (int i = base + 2; i < argc; ++i)
             chip->pushInput(static_cast<uint8_t>(
-                std::strtoul(argv[i], nullptr, 0)));
+                parseNumber("input", argv[i], 255)));
 
         // The cycle watchdog runs the chip in slices so a spinning
         // program is cut off near (not exactly at) the cycle limit —
